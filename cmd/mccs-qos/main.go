@@ -1,0 +1,93 @@
+// mccs-qos regenerates Figure 9 (training-workload JCT under ECMP / FFA /
+// PFA / PFA+TS) and, with -dynamic, Figure 10 (throughput timeline under
+// dynamic arrivals and policy changes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mccs/internal/harness"
+	"mccs/internal/sim"
+	"mccs/internal/spec"
+)
+
+func main() {
+	dynamic := flag.Bool("dynamic", false, "run the Fig. 10 dynamic-arrival timeline instead of Fig. 9")
+	itersA := flag.Int("iters-a", 30, "VGG (tenant A) iterations")
+	itersBC := flag.Int("iters-bc", 30, "GPT (tenants B, C) iterations")
+	flag.Parse()
+
+	if *dynamic {
+		runDynamic()
+		return
+	}
+
+	fmt.Println("[Fig. 9] job completion time, setup 3: A=VGG-19 DP (4 GPUs, prio 2),")
+	fmt.Println("         B,C=GPT-2.7B TP (2 GPUs each; B prio 1, C prio 0)")
+	type row struct {
+		sol harness.QoSSolution
+		res harness.QoSResult
+	}
+	var rows []row
+	for _, sol := range harness.QoSSolutions() {
+		res, err := harness.RunQoS(harness.QoSConfig{
+			Solution: sol, IterationsA: *itersA, IterationsBC: *itersBC,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", sol, err)
+		}
+		rows = append(rows, row{sol, res})
+	}
+	ffa := rows[1].res // normalization baseline, as in the paper
+	fmt.Printf("%-8s %28s %28s %28s\n", "solution", "VGG (A)", "GPT (B)", "GPT (C)")
+	for _, r := range rows {
+		fmt.Printf("%-8s", r.sol)
+		for _, app := range []spec.AppID{"A", "B", "C"} {
+			norm := float64(r.res.JCT[app]) / float64(ffa.JCT[app])
+			fmt.Printf("      %10v (%.2fx FFA)", r.res.JCT[app].Round(time.Millisecond), norm)
+		}
+		fmt.Println()
+	}
+}
+
+func runDynamic() {
+	cfg := harness.DefaultDynamicConfig()
+	res, err := harness.RunDynamic(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("[Fig. 10] normalized training throughput with dynamic arrivals and QoS")
+	for _, ev := range res.Events {
+		fmt.Printf("  event %-20s t=%vs\n", ev.Name, ev.T.Seconds())
+	}
+	// Per-app throughput in 5-second buckets, normalized to each app's
+	// best observed bucket (the paper normalizes to the FFA level).
+	bucket := 5 * time.Second
+	nBuckets := int(cfg.RunFor / bucket)
+	fmt.Printf("%-8s", "t(s)")
+	for _, app := range []spec.AppID{"A", "B", "C"} {
+		fmt.Printf(" %8s", app)
+	}
+	fmt.Println("   (iterations/s, 5s buckets)")
+	rate := func(app spec.AppID, b int) float64 {
+		lo := sim.Time(time.Duration(b) * bucket)
+		hi := lo.Add(bucket)
+		n := 0
+		for _, e := range res.IterEnds[app] {
+			if e >= lo && e < hi {
+				n++
+			}
+		}
+		return float64(n) / bucket.Seconds()
+	}
+	for b := 0; b < nBuckets; b++ {
+		fmt.Printf("%-8d", b*5)
+		for _, app := range []spec.AppID{"A", "B", "C"} {
+			fmt.Printf(" %8.2f", rate(app, b))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,72 @@
+// mccs-simcluster regenerates Figure 11: the 768-GPU large-scale
+// simulation comparing random rings, optimal rings (OR) and OR with fair
+// flow assignment (OR+FFA), under random and compact placement, reporting
+// the CDF of per-job AllReduce speedups relative to random rings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mccs/internal/cluster"
+	"mccs/internal/metrics"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 50, "number of jobs")
+	iters := flag.Int("iters", 10, "AllReduce iterations per job")
+	runs := flag.Int("runs", 5, "independent runs (seeds) to average")
+	meanArrival := flag.Duration("arrival", 200*time.Millisecond, "mean Poisson inter-arrival")
+	csv := flag.Bool("csv", false, "emit the speedup CDFs as CSV")
+	flag.Parse()
+
+	for _, placement := range []cluster.Placement{cluster.PlacementRandom, cluster.PlacementCompact} {
+		var orAll, ffaAll []float64
+		for seed := int64(1); seed <= int64(*runs); seed++ {
+			run := func(st cluster.Strategy) *cluster.RunResult {
+				cfg := cluster.DefaultConfig()
+				cfg.NumJobs = *jobs
+				cfg.Iterations = *iters
+				cfg.MeanArrival = *meanArrival
+				cfg.Placement = placement
+				cfg.Strategy = st
+				cfg.Seed = seed
+				res, err := cluster.Run(cfg)
+				if err != nil {
+					log.Fatalf("%v %v seed %d: %v", placement, st, seed, err)
+				}
+				return res
+			}
+			random := run(cluster.StratRandomRing)
+			or := run(cluster.StratOR)
+			orffa := run(cluster.StratORFFA)
+			orSp, err := cluster.Speedups(random, or)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ffaSp, err := cluster.Speedups(random, orffa)
+			if err != nil {
+				log.Fatal(err)
+			}
+			orAll = append(orAll, orSp...)
+			ffaAll = append(ffaAll, ffaSp...)
+		}
+		fmt.Printf("\n[Fig. 11] %v placement — AllReduce speedup vs random ring (%d jobs x %d runs)\n",
+			placement, *jobs, *runs)
+		so := metrics.Summarize(orAll)
+		sf := metrics.Summarize(ffaAll)
+		fmt.Printf("  OR:     mean %.2fx  (p5 %.2fx, p50 %.2fx, p95 %.2fx)\n", so.Mean, so.P5, so.P50, so.P95)
+		fmt.Printf("  OR+FFA: mean %.2fx  (p5 %.2fx, p50 %.2fx, p95 %.2fx)\n", sf.Mean, sf.P5, sf.P50, sf.P95)
+		if *csv {
+			fmt.Println("  strategy,speedup,cdf_fraction")
+			for _, pt := range metrics.CDF(orAll) {
+				fmt.Printf("  OR,%.4f,%.4f\n", pt.Value, pt.Fraction)
+			}
+			for _, pt := range metrics.CDF(ffaAll) {
+				fmt.Printf("  OR+FFA,%.4f,%.4f\n", pt.Value, pt.Fraction)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mccs
+
+go 1.22

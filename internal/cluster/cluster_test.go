@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"mccs/internal/metrics"
+	"mccs/internal/topo"
+)
+
+// smallConfig shrinks the simulation for unit tests while preserving the
+// oversubscribed two-tier shape.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Topo = topo.ClosConfig{
+		Spines: 4, Leaves: 6, HostsPerLeaf: 2, GPUsPerHost: 8, NICsPerHost: 8,
+		NICBps: 200 * topo.Gbps, LeafSpineBps: 200 * topo.Gbps,
+	}
+	cfg.NumJobs = 12
+	cfg.Iterations = 4
+	cfg.ComputeTime = 50 * time.Millisecond
+	return cfg
+}
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != cfg.NumJobs {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if len(j.ARTimes) != cfg.Iterations {
+			t.Errorf("job %d has %d AR samples, want %d", j.ID, len(j.ARTimes), cfg.Iterations)
+		}
+		if j.MeanAR() <= 0 {
+			t.Errorf("job %d mean AR = %v", j.ID, j.MeanAR())
+		}
+		if j.Finished <= j.Started || j.Started < j.Arrived {
+			t.Errorf("job %d times inconsistent: %v %v %v", j.ID, j.Arrived, j.Started, j.Finished)
+		}
+		if j.Size != 16 && j.Size != 32 {
+			t.Errorf("job %d size = %d", j.ID, j.Size)
+		}
+	}
+}
+
+func TestSameSeedSameWorkload(t *testing.T) {
+	// Different strategies under one seed must see identical job
+	// arrivals, sizes, and placements (the premise of the speedup CDF).
+	a := smallConfig()
+	a.Strategy = StratRandomRing
+	b := smallConfig()
+	b.Strategy = StratOR
+	ra, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra.Jobs {
+		if ra.Jobs[i].Size != rb.Jobs[i].Size {
+			t.Fatalf("job %d size differs across strategies: %d vs %d",
+				i, ra.Jobs[i].Size, rb.Jobs[i].Size)
+		}
+		if ra.Jobs[i].Arrived != rb.Jobs[i].Arrived {
+			t.Fatalf("job %d arrival differs", i)
+		}
+	}
+}
+
+func TestFig11StrategyOrdering(t *testing.T) {
+	// OR must beat random rings on average, and OR+FFA must beat OR
+	// under random placement; under compact placement FFA adds little
+	// (the paper's observation).
+	for _, placement := range []Placement{PlacementRandom, PlacementCompact} {
+		run := func(st Strategy) *RunResult {
+			cfg := smallConfig()
+			cfg.Placement = placement
+			cfg.Strategy = st
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		random := run(StratRandomRing)
+		or := run(StratOR)
+		orffa := run(StratORFFA)
+
+		_, orSpeed, err := SpeedupCDF(random, or)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, ffaSpeed, err := SpeedupCDF(random, orffa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%v placement: OR %.2fx, OR+FFA %.2fx vs random ring", placement, orSpeed, ffaSpeed)
+		if orSpeed < 1.3 {
+			t.Errorf("%v: OR speedup %.2fx, want well above 1x", placement, orSpeed)
+		}
+		if ffaSpeed < orSpeed*0.95 {
+			t.Errorf("%v: OR+FFA %.2fx should not lose to OR %.2fx", placement, ffaSpeed, orSpeed)
+		}
+		if placement == PlacementRandom && ffaSpeed < orSpeed*1.02 {
+			t.Errorf("random placement: OR+FFA %.2fx should exceed OR %.2fx", ffaSpeed, orSpeed)
+		}
+	}
+}
+
+func TestCompactPlacementSpansFewerRacks(t *testing.T) {
+	racksOf := func(p Placement) float64 {
+		cfg := smallConfig()
+		cfg.Placement = p
+		cl, err := topo.BuildClos(cfg.Topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := &sim11{cfg: cfg, cluster: cl, freeGPUs: make(map[topo.GPUID]bool)}
+		m.placeRng = newRng(7)
+		for g := range cl.GPUs {
+			m.freeGPUs[topo.GPUID(g)] = true
+		}
+		total := 0.0
+		njobs := 3 // 96 GPUs / 32 per job
+		for i := 0; i < njobs; i++ {
+			gpus, ok := m.place(32)
+			if !ok {
+				t.Fatal("placement failed")
+			}
+			racks := map[topo.RackID]bool{}
+			for _, g := range gpus {
+				racks[cl.RackOf(cl.HostOfGPU(g))] = true
+				delete(m.freeGPUs, g)
+			}
+			total += float64(len(racks))
+		}
+		return total / float64(njobs)
+	}
+	compact := racksOf(PlacementCompact)
+	random := racksOf(PlacementRandom)
+	if compact >= random {
+		t.Errorf("compact spans %.1f racks vs random %.1f; want fewer", compact, random)
+	}
+	if compact > 2.01 {
+		t.Errorf("compact 32-GPU jobs span %.1f racks, want ~2 (16 GPUs/rack)", compact)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.NumJobs = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero jobs accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.ModelBytes = 0
+	if _, err := Run(bad2); err == nil {
+		t.Error("zero model accepted")
+	}
+}
+
+func TestSpeedupHelpers(t *testing.T) {
+	a := &RunResult{Jobs: []JobResult{{ARTimes: []time.Duration{2 * time.Second}}}}
+	b := &RunResult{Jobs: []JobResult{{ARTimes: []time.Duration{time.Second}}}}
+	sp, err := Speedups(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != 1 || sp[0] != 2 {
+		t.Errorf("speedups = %v", sp)
+	}
+	if _, err := Speedups(a, &RunResult{}); err == nil {
+		t.Error("mismatched job counts accepted")
+	}
+	cdf, mean, err := SpeedupCDF(a, b)
+	if err != nil || mean != 2 || len(cdf) != 1 {
+		t.Errorf("cdf=%v mean=%v err=%v", cdf, mean, err)
+	}
+	_ = metrics.CDF(nil)
+}

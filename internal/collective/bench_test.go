@@ -1,0 +1,36 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSteps measures schedule generation (runs on every collective
+// launch in the proxy).
+func BenchmarkSteps(b *testing.B) {
+	ring := IdentityRing(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Steps(AllReduce, ring, i%32, 0)
+	}
+}
+
+// BenchmarkExecuteRing measures the in-memory verification executor.
+func BenchmarkExecuteRing(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := randInputs(rng, 8, 4096)
+	ring := IdentityRing(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExecuteRing(AllReduce, ring, 0, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTreeRounds measures tree schedule generation.
+func BenchmarkTreeRounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = TreeAllReduceRounds(32, i%32, 0)
+	}
+}

@@ -1,0 +1,186 @@
+package collective
+
+import "fmt"
+
+// Tree algorithms. The paper implements ring AllReduce/AllGather and notes
+// that "it is straightforward to implement other collective operations,
+// P2P communication, and other algorithms (e.g., tree algorithms)" (§5).
+// This file provides binomial-tree schedules: latency-optimal for small
+// messages (2·ceil(log2 n) rounds versus the ring's 2(n-1)), which is why
+// NCCL switches between tree and ring by message size — and why an MCCS
+// provider wants both available when choosing strategies.
+//
+// Tree schedules use a different shape than ring StepIO: each round is a
+// set of point-to-point transfers between arbitrary rank pairs.
+
+// Transfer is one rank's action in one tree round.
+type Transfer struct {
+	// Peer is the counterpart rank.
+	Peer int
+	// Send indicates this rank transmits (otherwise it receives).
+	Send bool
+	// Reduce applies to receives: sum the payload into the local buffer
+	// (reduce phase) instead of overwriting it (broadcast phase).
+	Reduce bool
+}
+
+// TreeRound is the (possibly empty) action of one rank in one round.
+// A rank performs at most one transfer per round in a binomial tree.
+type TreeRound struct {
+	// Active is false when the rank idles this round.
+	Active bool
+	T      Transfer
+}
+
+// vrank converts between rank space and the tree's virtual numbering
+// rooted at root.
+func vrank(rank, root, n int) int { return ((rank-root)%n + n) % n }
+func unvrank(v, root, n int) int  { return (v + root) % n }
+
+// TreeReduceRounds returns the binomial-tree reduce schedule: ceil(log2 n)
+// rounds after which the root holds the elementwise sum. In round i
+// (mask = 1<<i), virtual rank v sends to v-mask if bit i of v is set (and
+// is then done), or receives from v+mask if that peer exists.
+func TreeReduceRounds(n, rank, root int) []TreeRound {
+	if n < 1 {
+		panic("collective: tree over empty communicator")
+	}
+	v := vrank(rank, root, n)
+	var rounds []TreeRound
+	for mask := 1; mask < n; mask <<= 1 {
+		var r TreeRound
+		if v&mask != 0 {
+			r = TreeRound{Active: true, T: Transfer{Peer: unvrank(v&^mask, root, n), Send: true}}
+			rounds = append(rounds, r)
+			// Sender is done; idle for the remaining rounds.
+			for m := mask << 1; m < n; m <<= 1 {
+				rounds = append(rounds, TreeRound{})
+			}
+			return rounds
+		}
+		if v|mask < n {
+			r = TreeRound{Active: true, T: Transfer{Peer: unvrank(v|mask, root, n), Reduce: true}}
+		}
+		rounds = append(rounds, r)
+	}
+	return rounds
+}
+
+// TreeBroadcastRounds returns the binomial-tree broadcast schedule: the
+// reverse of the reduce tree, so data reaches every rank in ceil(log2 n)
+// rounds.
+func TreeBroadcastRounds(n, rank, root int) []TreeRound {
+	red := TreeReduceRounds(n, rank, root)
+	// Reverse the rounds and flip the directions: a reduce-send becomes
+	// a broadcast-receive (copy, not reduce) and vice versa.
+	out := make([]TreeRound, len(red))
+	for i, r := range red {
+		j := len(red) - 1 - i
+		if !r.Active {
+			out[j] = TreeRound{}
+			continue
+		}
+		out[j] = TreeRound{Active: true, T: Transfer{
+			Peer: r.T.Peer,
+			Send: !r.T.Send,
+		}}
+	}
+	return out
+}
+
+// TreeAllReduceRounds is reduce-to-root followed by broadcast-from-root:
+// 2·ceil(log2 n) rounds, each moving the full buffer.
+func TreeAllReduceRounds(n, rank, root int) []TreeRound {
+	return append(TreeReduceRounds(n, rank, root), TreeBroadcastRounds(n, rank, root)...)
+}
+
+// TreeRoundsFor returns the tree schedule for op (AllReduce, Broadcast or
+// Reduce; the scatter/gather ops have no dense-tree form here).
+func TreeRoundsFor(op Op, n, rank, root int) ([]TreeRound, error) {
+	switch op {
+	case AllReduce:
+		return TreeAllReduceRounds(n, rank, root), nil
+	case Broadcast:
+		return TreeBroadcastRounds(n, rank, root), nil
+	case Reduce:
+		return TreeReduceRounds(n, rank, root), nil
+	default:
+		return nil, fmt.Errorf("collective: no tree schedule for %v", op)
+	}
+}
+
+// TreePeers returns the distinct peers rank exchanges data with across the
+// tree schedules for any root — i.e. the connections a communicator must
+// establish to run tree collectives. For root-agnostic provisioning we
+// take the union over the default root 0 tree (MCCS provisions per
+// strategy; rooted ops with non-zero roots reuse ring connections or
+// trigger lazy setup at the transport layer).
+func TreePeers(n, rank, root int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range TreeAllReduceRounds(n, rank, root) {
+		if r.Active && !seen[r.T.Peer] {
+			seen[r.T.Peer] = true
+			out = append(out, r.T.Peer)
+		}
+	}
+	return out
+}
+
+// ExecuteTree runs a tree schedule over in-memory buffers for
+// verification, mirroring ExecuteRing.
+func ExecuteTree(op Op, n, root int, inputs [][]float32) ([][]float32, error) {
+	if len(inputs) != n {
+		return nil, fmt.Errorf("collective: %d inputs for %d ranks", len(inputs), n)
+	}
+	work := make([][]float32, n)
+	for r := range work {
+		work[r] = append([]float32(nil), inputs[r]...)
+	}
+	scheds := make([][]TreeRound, n)
+	rounds := 0
+	for r := 0; r < n; r++ {
+		s, err := TreeRoundsFor(op, n, r, root)
+		if err != nil {
+			return nil, err
+		}
+		scheds[r] = s
+		if len(s) > rounds {
+			rounds = len(s)
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		// Collect sends first (simultaneous semantics).
+		type msg struct {
+			to     int
+			reduce bool
+			data   []float32
+		}
+		var msgs []msg
+		for r := 0; r < n; r++ {
+			if round >= len(scheds[r]) {
+				continue
+			}
+			step := scheds[r][round]
+			if !step.Active || !step.T.Send {
+				continue
+			}
+			msgs = append(msgs, msg{to: step.T.Peer, data: append([]float32(nil), work[r]...)})
+		}
+		for _, m := range msgs {
+			step := scheds[m.to][round]
+			if !step.Active || step.T.Send {
+				return nil, fmt.Errorf("collective: round %d: rank %d got unexpected tree message", round, m.to)
+			}
+			dst := work[m.to]
+			if step.T.Reduce {
+				for i := range dst {
+					dst[i] += m.data[i]
+				}
+			} else {
+				copy(dst, m.data)
+			}
+		}
+	}
+	return work, nil
+}

@@ -1,0 +1,157 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTreeRoundCount(t *testing.T) {
+	for _, tc := range []struct{ n, rounds int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4},
+	} {
+		got := len(TreeReduceRounds(tc.n, 0, 0))
+		if got != tc.rounds {
+			t.Errorf("n=%d: reduce rounds = %d, want %d", tc.n, got, tc.rounds)
+		}
+		ar := len(TreeAllReduceRounds(tc.n, 0, 0))
+		if ar != 2*tc.rounds {
+			t.Errorf("n=%d: allreduce rounds = %d, want %d", tc.n, ar, 2*tc.rounds)
+		}
+	}
+}
+
+func TestTreeLatencyAdvantage(t *testing.T) {
+	// The whole point: for n=8, tree AllReduce needs 6 rounds vs the
+	// ring's 14 steps.
+	n := 8
+	tree := len(TreeAllReduceRounds(n, 0, 0))
+	ring := len(Steps(AllReduce, IdentityRing(n), 0, 0))
+	if tree >= ring {
+		t.Errorf("tree rounds %d not fewer than ring steps %d", tree, ring)
+	}
+	if tree != 6 {
+		t.Errorf("tree rounds = %d, want 6", tree)
+	}
+}
+
+func TestTreeExecuteAllOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13} {
+		for root := 0; root < n; root += max(1, n/3) {
+			in := randInputs(rng, n, 9)
+			want := sums(in)
+
+			out, err := ExecuteTree(AllReduce, n, root, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < n; r++ {
+				for i := range want {
+					if out[r][i] != want[i] {
+						t.Fatalf("allreduce n=%d root=%d rank %d elem %d = %g, want %g",
+							n, root, r, i, out[r][i], want[i])
+					}
+				}
+			}
+
+			out2, err := ExecuteTree(Reduce, n, root, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if out2[root][i] != want[i] {
+					t.Fatalf("reduce n=%d root=%d elem %d = %g, want %g", n, root, i, out2[root][i], want[i])
+				}
+			}
+
+			out3, err := ExecuteTree(Broadcast, n, root, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < n; r++ {
+				for i := range in[root] {
+					if out3[r][i] != in[root][i] {
+						t.Fatalf("broadcast n=%d root=%d rank %d differs", n, root, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTreeRoundsForErrors(t *testing.T) {
+	if _, err := TreeRoundsFor(AllGather, 4, 0, 0); err == nil {
+		t.Error("AllGather tree accepted")
+	}
+	if _, err := TreeRoundsFor(ReduceScatter, 4, 0, 0); err == nil {
+		t.Error("ReduceScatter tree accepted")
+	}
+}
+
+func TestTreePeersSymmetric(t *testing.T) {
+	// If a is a tree peer of b, b must be a tree peer of a, and the
+	// union of edges must connect the communicator.
+	n := 11
+	adj := make(map[[2]int]bool)
+	for r := 0; r < n; r++ {
+		for _, p := range TreePeers(n, r, 0) {
+			adj[[2]int{r, p}] = true
+		}
+	}
+	for e := range adj {
+		if !adj[[2]int{e[1], e[0]}] {
+			t.Errorf("tree edge %v not symmetric", e)
+		}
+	}
+	// Connectivity via BFS.
+	seen := map[int]bool{0: true}
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, p := range TreePeers(n, u, 0) {
+			if !seen[p] {
+				seen[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	if len(seen) != n {
+		t.Errorf("tree connects %d of %d ranks", len(seen), n)
+	}
+}
+
+// Property: tree and ring AllReduce agree for every size and root.
+func TestQuickTreeMatchesRing(t *testing.T) {
+	f := func(seed int64, nRaw, rootRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		root := int(rootRaw) % n
+		rng := rand.New(rand.NewSource(seed))
+		in := randInputs(rng, n, 7)
+		want := sums(in)
+		out, err := ExecuteTree(AllReduce, n, root, in)
+		if err != nil {
+			return false
+		}
+		for r := 0; r < n; r++ {
+			for i := range want {
+				if math.Abs(float64(out[r][i]-want[i])) > 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package collective
+
+import "fmt"
+
+// ExecuteRing runs op's ring schedule step-synchronously over plain
+// in-memory buffers and returns the per-rank results. It exists so tests
+// can prove schedule correctness independent of the transport and GPU
+// layers: if this executor produces the right sums for every ring order,
+// and the engines execute the same StepIO sequences, the system computes
+// correct collectives.
+//
+// Buffer shapes per op (count = elements per rank's input):
+//   - AllReduce: inputs[r] has count elements; result[r] = elementwise sum.
+//   - ReduceScatter: inputs[r] has count elements; result[r] holds only
+//     region r (rank-indexed) of the sum, at that region's offset.
+//   - AllGather: inputs[r] has count elements; result[r] has n*count with
+//     rank k's contribution at span k.
+//   - Broadcast: inputs[root] propagates to every rank.
+//   - Reduce: result[root] = elementwise sum; other ranks unspecified.
+func ExecuteRing(op Op, ring *Ring, root int, inputs [][]float32) ([][]float32, error) {
+	n := ring.Size()
+	if len(inputs) != n {
+		return nil, fmt.Errorf("collective: %d inputs for %d ranks", len(inputs), n)
+	}
+	count := int64(len(inputs[0]))
+	for r, in := range inputs {
+		if int64(len(in)) != count {
+			return nil, fmt.Errorf("collective: rank %d input length %d, want %d", r, len(in), count)
+		}
+	}
+
+	// Working buffers.
+	var work [][]float32
+	var regionElems int64
+	switch op {
+	case AllGather:
+		regionElems = count
+		work = make([][]float32, n)
+		for r := range work {
+			work[r] = make([]float32, count*int64(n))
+			copy(work[r][int64(r)*count:], inputs[r])
+		}
+	default:
+		regionElems = count
+		work = make([][]float32, n)
+		for r := range work {
+			work[r] = append([]float32(nil), inputs[r]...)
+		}
+	}
+
+	nRegions := NumRegions(op, n)
+	var starts, lens []int64
+	if nRegions == 1 {
+		starts, lens = []int64{0}, []int64{regionElems}
+	} else if op == AllGather {
+		starts = make([]int64, n)
+		lens = make([]int64, n)
+		for i := range starts {
+			starts[i] = int64(i) * count
+			lens[i] = count
+		}
+	} else {
+		starts, lens = Regions(count, n)
+	}
+
+	steps := make([][]StepIO, n)
+	nSteps := 0
+	for r := 0; r < n; r++ {
+		steps[r] = Steps(op, ring, r, root)
+		if len(steps[r]) > nSteps {
+			nSteps = len(steps[r])
+		}
+	}
+
+	for s := 0; s < nSteps; s++ {
+		// Snapshot sends before applying receives so that simultaneous
+		// transfers within a step use pre-step data.
+		type xfer struct {
+			to     int
+			region int
+			reduce bool
+			data   []float32
+		}
+		var xfers []xfer
+		for r := 0; r < n; r++ {
+			if s >= len(steps[r]) {
+				continue
+			}
+			st := steps[r][s]
+			if st.SendRegion < 0 {
+				continue
+			}
+			off, l := starts[st.SendRegion], lens[st.SendRegion]
+			snap := append([]float32(nil), work[r][off:off+l]...)
+			peer := SendPeer(op, ring, r, root)
+			xfers = append(xfers, xfer{to: peer, region: st.SendRegion, data: snap})
+		}
+		// Match each transfer against the receiver's declared step.
+		for _, x := range xfers {
+			if s >= len(steps[x.to]) {
+				return nil, fmt.Errorf("collective: step %d: rank %d has no receive slot", s, x.to)
+			}
+			st := steps[x.to][s]
+			if st.RecvRegion != x.region {
+				return nil, fmt.Errorf("collective: step %d: rank %d expects region %d, got %d",
+					s, x.to, st.RecvRegion, x.region)
+			}
+			off := starts[x.region]
+			dst := work[x.to][off : off+int64(len(x.data))]
+			if st.RecvReduce {
+				for i := range dst {
+					dst[i] += x.data[i]
+				}
+			} else {
+				copy(dst, x.data)
+			}
+		}
+	}
+
+	// For ReduceScatter, blank out the regions a rank does not own so
+	// tests cannot accidentally rely on partial garbage.
+	if op == ReduceScatter {
+		for r := 0; r < n; r++ {
+			for q := 0; q < n; q++ {
+				if q == r {
+					continue
+				}
+				off, l := starts[q], lens[q]
+				for i := off; i < off+l; i++ {
+					work[r][i] = 0
+				}
+			}
+		}
+	}
+	return work, nil
+}

@@ -1,0 +1,93 @@
+// Package control implements the per-communicator control ring: the
+// TCP-based rank-0-rooted exchange NCCL builds at init, which MCCS reuses
+// as the barrier substrate of its reconfiguration protocol (paper §4.2).
+//
+// Control messages are tiny, so they bypass the flow-level fabric and are
+// modeled with a fixed per-hop latency. What matters for the protocol is
+// the ordering and completion semantics of the ring AllGather, which are
+// implemented exactly: a rank's AllGather completes only after every rank
+// has contributed, and the result is identical at every rank.
+package control
+
+import (
+	"fmt"
+	"time"
+
+	"mccs/internal/sim"
+)
+
+// Ring is the control ring of one communicator.
+type Ring struct {
+	s      *sim.Scheduler
+	n      int
+	hopLat time.Duration
+	// in[r] receives vectors forwarded by rank r's predecessor.
+	in []*sim.Queue[[]int64]
+}
+
+// NewRing builds an n-rank control ring with the given per-hop message
+// latency.
+func NewRing(s *sim.Scheduler, n int, hopLatency time.Duration) (*Ring, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("control: ring size %d", n)
+	}
+	r := &Ring{s: s, n: n, hopLat: hopLatency, in: make([]*sim.Queue[[]int64], n)}
+	for i := range r.in {
+		r.in[i] = sim.NewQueue[[]int64]()
+	}
+	return r, nil
+}
+
+// Size returns the ring size.
+func (r *Ring) Size() int { return r.n }
+
+// AllGather contributes val as rank's element and blocks until the full
+// vector is known. Every rank must call it once per generation; calls block
+// until all peers participate (the barrier property the reconfiguration
+// protocol relies on).
+//
+// The implementation is the standard ring allgather: n-1 rounds, each rank
+// forwarding the vector slot it learned most recently to its successor.
+func (r *Ring) AllGather(p *sim.Proc, rank int, val int64) []int64 {
+	if rank < 0 || rank >= r.n {
+		panic(fmt.Sprintf("control: rank %d out of range [0,%d)", rank, r.n))
+	}
+	out := make([]int64, r.n)
+	for i := range out {
+		out[i] = noValue
+	}
+	out[rank] = val
+	if r.n == 1 {
+		return out
+	}
+	next := (rank + 1) % r.n
+	// Round s: forward the slot for rank (rank-s mod n); after receiving,
+	// we know slot (rank-s-1 mod n).
+	for s := 0; s < r.n-1; s++ {
+		slot := ((rank-s)%r.n + r.n) % r.n
+		r.send(next, slot, out[slot])
+		msg := r.in[rank].Pop(p)
+		got := int(msg[0])
+		out[got] = msg[1]
+	}
+	return out
+}
+
+const noValue = int64(-1 << 62)
+
+func (r *Ring) send(to, slot int, val int64) {
+	msg := []int64{int64(slot), val}
+	r.s.After(r.hopLat, func() { r.in[to].Push(r.s, msg) })
+}
+
+// Max is a convenience for the reconfiguration protocol: the maximum over
+// an AllGather result.
+func Max(vals []int64) int64 {
+	m := vals[0]
+	for _, v := range vals[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package control
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mccs/internal/sim"
+)
+
+func TestAllGatherBasic(t *testing.T) {
+	s := sim.New()
+	n := 4
+	r, err := NewRing(s, n, 10*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][]int64, n)
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		s.Go("rank", func(p *sim.Proc) {
+			results[rank] = r.AllGather(p, rank, int64(100+rank))
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < n; rank++ {
+		for k := 0; k < n; k++ {
+			if results[rank][k] != int64(100+k) {
+				t.Fatalf("rank %d slot %d = %d, want %d", rank, k, results[rank][k], 100+k)
+			}
+		}
+	}
+}
+
+func TestAllGatherSingleRank(t *testing.T) {
+	s := sim.New()
+	r, _ := NewRing(s, 1, time.Microsecond)
+	var got []int64
+	s.Go("solo", func(p *sim.Proc) { got = r.AllGather(p, 0, 7) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAllGatherIsABarrier(t *testing.T) {
+	// No rank's AllGather may complete before the slowest rank joins.
+	s := sim.New()
+	n := 5
+	r, _ := NewRing(s, n, time.Microsecond)
+	joinDelay := []time.Duration{0, 1 * time.Millisecond, 0, 40 * time.Millisecond, 2 * time.Millisecond}
+	var latest sim.Time
+	done := make([]sim.Time, n)
+	for rank := 0; rank < n; rank++ {
+		rank := rank
+		s.Go("rank", func(p *sim.Proc) {
+			p.Sleep(joinDelay[rank])
+			if p.Now() > latest {
+				latest = p.Now()
+			}
+			r.AllGather(p, rank, int64(rank))
+			done[rank] = p.Now()
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < n; rank++ {
+		if done[rank] < sim.Time(40*time.Millisecond) {
+			t.Errorf("rank %d completed at %v, before the slowest rank joined", rank, done[rank])
+		}
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := Max([]int64{3, 9, 1}); got != 9 {
+		t.Errorf("Max = %d", got)
+	}
+	if got := Max([]int64{-5}); got != -5 {
+		t.Errorf("Max = %d", got)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	s := sim.New()
+	if _, err := NewRing(s, 0, 0); err == nil {
+		t.Error("zero-size ring accepted")
+	}
+}
+
+// Property: for any ring size, join jitter and values, every rank sees the
+// identical complete vector.
+func TestQuickAllGatherAgreement(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%9) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New()
+		r, err := NewRing(s, n, time.Duration(rng.Intn(50))*time.Microsecond)
+		if err != nil {
+			return false
+		}
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(1000)
+		}
+		results := make([][]int64, n)
+		for rank := 0; rank < n; rank++ {
+			rank := rank
+			delay := time.Duration(rng.Intn(5000)) * time.Microsecond
+			s.Go("rank", func(p *sim.Proc) {
+				p.Sleep(delay)
+				results[rank] = r.AllGather(p, rank, vals[rank])
+			})
+		}
+		if err := s.Run(); err != nil {
+			return false
+		}
+		for rank := 0; rank < n; rank++ {
+			for k := 0; k < n; k++ {
+				if results[rank][k] != vals[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

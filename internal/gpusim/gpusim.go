@@ -1,0 +1,399 @@
+// Package gpusim is a virtual-time stand-in for the CUDA runtime.
+//
+// The MCCS design (paper §4.1) depends on four CUDA facilities: device
+// memory with inter-process memory handles, streams (in-order operation
+// queues), events (cross-stream / cross-process synchronization), and
+// kernels whose cost scales with the bytes they touch. This package
+// reproduces those semantics on the sim scheduler. Buffers can optionally
+// be backed by real float32 data so that tests can prove a collective
+// produced the mathematically correct result; performance experiments use
+// unbacked buffers and only the cost model runs.
+package gpusim
+
+import (
+	"fmt"
+	"time"
+
+	"mccs/internal/sim"
+)
+
+// DeviceConfig sets a device's cost model.
+type DeviceConfig struct {
+	// MemoryBytes is the device memory capacity.
+	MemoryBytes int64
+	// MemBandwidth is the device-memory bandwidth in bytes/sec used by
+	// copy/reduce kernels (RTX 3090-class ≈ 900 GB/s).
+	MemBandwidth float64
+	// LaunchLatency is the fixed cost of starting any kernel.
+	LaunchLatency time.Duration
+}
+
+// DefaultConfig approximates the paper's RTX 3090 testbed GPUs.
+func DefaultConfig() DeviceConfig {
+	return DeviceConfig{
+		MemoryBytes:   24 << 30, // 24 GiB
+		MemBandwidth:  900e9,
+		LaunchLatency: 8 * time.Microsecond,
+	}
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	ID        int
+	cfg       DeviceConfig
+	s         *sim.Scheduler
+	allocated int64
+	nextBuf   int
+	buffers   map[int]*Buffer
+}
+
+// NewDevice creates a device with the given ID and config.
+func NewDevice(s *sim.Scheduler, id int, cfg DeviceConfig) *Device {
+	return &Device{ID: id, cfg: cfg, s: s, buffers: make(map[int]*Buffer)}
+}
+
+// Config returns the device's cost model.
+func (d *Device) Config() DeviceConfig { return d.cfg }
+
+// Allocated returns the bytes currently allocated.
+func (d *Device) Allocated() int64 { return d.allocated }
+
+// Buffer is a device memory allocation. Data is nil unless the buffer was
+// allocated backed.
+type Buffer struct {
+	dev   *Device
+	id    int
+	bytes int64
+	data  []float32 // non-nil only for backed buffers
+	freed bool
+	refs  int // IPC opens + the owner
+}
+
+// Bytes returns the allocation size.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// Device returns the owning device.
+func (b *Buffer) Device() *Device { return b.dev }
+
+// Backed reports whether the buffer carries real data.
+func (b *Buffer) Backed() bool { return b.data != nil }
+
+// Data returns the backing float32 slice (nil for unbacked buffers).
+func (b *Buffer) Data() []float32 { return b.data }
+
+// Alloc reserves bytes of device memory without data backing.
+func (d *Device) Alloc(bytes int64) (*Buffer, error) {
+	return d.alloc(bytes, false)
+}
+
+// AllocBacked reserves device memory with a real float32 backing array of
+// bytes/4 elements, letting kernels move and reduce actual values.
+func (d *Device) AllocBacked(bytes int64) (*Buffer, error) {
+	return d.alloc(bytes, true)
+}
+
+func (d *Device) alloc(bytes int64, backed bool) (*Buffer, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("gpusim: allocation of %d bytes", bytes)
+	}
+	if d.allocated+bytes > d.cfg.MemoryBytes {
+		return nil, fmt.Errorf("gpusim: device %d out of memory: %d in use, %d requested, %d capacity",
+			d.ID, d.allocated, bytes, d.cfg.MemoryBytes)
+	}
+	d.allocated += bytes
+	d.nextBuf++
+	b := &Buffer{dev: d, id: d.nextBuf, bytes: bytes, refs: 1}
+	if backed {
+		b.data = make([]float32, bytes/4)
+	}
+	d.buffers[b.id] = b
+	return b, nil
+}
+
+// Free releases the buffer. Freeing while IPC handles remain open is an
+// error, mirroring CUDA's ownership rules.
+func (b *Buffer) Free() error {
+	if b.freed {
+		return fmt.Errorf("gpusim: double free of buffer %d on device %d", b.id, b.dev.ID)
+	}
+	if b.refs > 1 {
+		return fmt.Errorf("gpusim: buffer %d on device %d freed with %d IPC handle(s) open",
+			b.id, b.dev.ID, b.refs-1)
+	}
+	b.freed = true
+	b.dev.allocated -= b.bytes
+	delete(b.dev.buffers, b.id)
+	return nil
+}
+
+// MemHandle is an inter-process memory handle (cudaIpcGetMemHandle
+// analogue): it lets another protection domain map the same allocation.
+type MemHandle struct {
+	dev *Device
+	id  int
+}
+
+// IPCHandle exports the buffer for another process.
+func (b *Buffer) IPCHandle() MemHandle { return MemHandle{dev: b.dev, id: b.id} }
+
+// OpenMemHandle maps an exported allocation; the returned buffer aliases
+// the same memory. Close the mapping with CloseMemHandle.
+func OpenMemHandle(h MemHandle) (*Buffer, error) {
+	b, ok := h.dev.buffers[h.id]
+	if !ok {
+		return nil, fmt.Errorf("gpusim: stale IPC handle (buffer %d, device %d)", h.id, h.dev.ID)
+	}
+	b.refs++
+	return b, nil
+}
+
+// CloseMemHandle releases one IPC mapping.
+func CloseMemHandle(b *Buffer) error {
+	if b.refs <= 1 {
+		return fmt.Errorf("gpusim: CloseMemHandle without matching open")
+	}
+	b.refs--
+	return nil
+}
+
+// Event reproduces CUDA event semantics: Record captures a point in a
+// stream's work queue; waiting (from a stream or from host code) blocks
+// until that captured point has executed. Events are shareable across
+// processes (cudaIpcGetEventHandle analogue) — in the simulator this is
+// simply sharing the object.
+type Event struct {
+	s    *sim.Scheduler
+	last *recordInstance
+}
+
+type recordInstance struct {
+	done bool
+	cbs  []func()
+	wq   sim.WaitQueue
+}
+
+// NewEvent creates an event. A never-recorded event is "complete" per CUDA
+// rules: waits on it return immediately.
+func NewEvent(s *sim.Scheduler) *Event { return &Event{s: s} }
+
+func (ri *recordInstance) fire(s *sim.Scheduler) {
+	if ri.done {
+		return
+	}
+	ri.done = true
+	cbs := ri.cbs
+	ri.cbs = nil
+	for _, cb := range cbs {
+		cb()
+	}
+	ri.wq.WakeAll(s, nil)
+}
+
+// Done reports whether the most recent record has completed (true if never
+// recorded).
+func (e *Event) Done() bool { return e.last == nil || e.last.done }
+
+// WaitHost blocks the calling process until the most recent record
+// completes (cudaEventSynchronize).
+func (e *Event) WaitHost(p *sim.Proc) {
+	e.Snapshot().WaitHost(p)
+}
+
+// EventInstance is a point-in-time snapshot of an event's most recent
+// record. CUDA wait semantics bind to the record current at call time,
+// not to later re-records; callers that hand an event across a delay
+// (e.g. the shim passing a stream event to the proxy) must snapshot at
+// call time or they can bind to the wrong record.
+type EventInstance struct {
+	ri *recordInstance
+}
+
+// Snapshot captures the current record instance (zero instance if the
+// event was never recorded; waiting on it returns immediately).
+func (e *Event) Snapshot() EventInstance { return EventInstance{ri: e.last} }
+
+// Done reports whether the snapshot's record has completed (true for the
+// zero instance).
+func (ei EventInstance) Done() bool { return ei.ri == nil || ei.ri.done }
+
+// WaitHost blocks until the snapshot's record completes.
+func (ei EventInstance) WaitHost(p *sim.Proc) {
+	if ei.ri == nil || ei.ri.done {
+		return
+	}
+	ei.ri.wq.Wait(p)
+}
+
+// onDone invokes fn when the snapshot instance completes.
+func (ri *recordInstance) onDone(fn func()) {
+	if ri == nil || ri.done {
+		fn()
+		return
+	}
+	ri.cbs = append(ri.cbs, fn)
+}
+
+// opKind discriminates stream operations.
+type opKind int
+
+const (
+	opKernel opKind = iota
+	opRecord
+	opWait
+)
+
+type op struct {
+	kind opKind
+	name string
+	dur  time.Duration
+	fn   func() // body executed at kernel completion
+	ev   *recordInstance
+}
+
+// Stream is an in-order execution queue on one device.
+type Stream struct {
+	dev   *Device
+	name  string
+	queue []op
+	busy  bool
+	// depth counts queued plus running ops, for tests.
+	depth int
+}
+
+// NewStream creates a stream on the device.
+func (d *Device) NewStream(name string) *Stream {
+	return &Stream{dev: d, name: name}
+}
+
+// Depth returns the number of pending operations (including the running
+// one).
+func (st *Stream) Depth() int { return st.depth }
+
+func (st *Stream) enqueue(o op) {
+	st.depth++
+	if st.busy {
+		st.queue = append(st.queue, o)
+		return
+	}
+	st.start(o)
+}
+
+func (st *Stream) start(o op) {
+	st.busy = true
+	switch o.kind {
+	case opKernel:
+		st.dev.s.After(o.dur, func() {
+			if o.fn != nil {
+				o.fn()
+			}
+			st.finish()
+		})
+	case opRecord:
+		o.ev.fire(st.dev.s)
+		// Records are instantaneous, but completing them through the
+		// scheduler keeps op completion ordering deterministic.
+		st.dev.s.After(0, st.finish)
+	case opWait:
+		o.ev.onDone(func() { st.dev.s.After(0, st.finish) })
+	}
+}
+
+func (st *Stream) finish() {
+	st.depth--
+	st.busy = false
+	if len(st.queue) > 0 {
+		next := st.queue[0]
+		copy(st.queue, st.queue[1:])
+		st.queue = st.queue[:len(st.queue)-1]
+		st.start(next)
+	}
+}
+
+// Launch enqueues a kernel with an explicit duration and optional body run
+// at completion. The device launch latency is added automatically.
+func (st *Stream) Launch(name string, dur time.Duration, body func()) {
+	st.enqueue(op{kind: opKernel, name: name, dur: st.dev.cfg.LaunchLatency + dur, fn: body})
+}
+
+// kernelTime converts a byte count to kernel duration under the device's
+// memory bandwidth model. passes is the number of times the bytes cross the
+// memory bus (1 for a copy read-modify-write approximated as one pass, 2
+// for reduce: read both operands).
+func (d *Device) kernelTime(bytes int64, passes float64) time.Duration {
+	sec := float64(bytes) * passes / d.cfg.MemBandwidth
+	return time.Duration(sec * float64(time.Second))
+}
+
+// TransferTime exposes the kernel cost model to higher layers (the proxy
+// engine charges per-chunk reduce/copy time inside its fused collective
+// kernels without enqueuing one Stream op per chunk).
+func (d *Device) TransferTime(bytes int64, passes float64) time.Duration {
+	return d.kernelTime(bytes, passes)
+}
+
+// Copy enqueues a device-to-device copy of n elements (float32) from
+// src[srcOff:] to dst[dstOff:]. Offsets and counts are in elements.
+func (st *Stream) Copy(dst *Buffer, dstOff int64, src *Buffer, srcOff, n int64) {
+	dur := st.dev.kernelTime(n*4, 1)
+	st.enqueue(op{kind: opKernel, name: "copy", dur: st.dev.cfg.LaunchLatency + dur, fn: func() {
+		if dst.data != nil && src.data != nil {
+			copy(dst.data[dstOff:dstOff+n], src.data[srcOff:srcOff+n])
+		}
+	}})
+}
+
+// Reduce enqueues dst[dstOff:+n] += src[srcOff:+n] (the AllReduce sum op).
+func (st *Stream) Reduce(dst *Buffer, dstOff int64, src *Buffer, srcOff, n int64) {
+	dur := st.dev.kernelTime(n*4, 2)
+	st.enqueue(op{kind: opKernel, name: "reduce", dur: st.dev.cfg.LaunchLatency + dur, fn: func() {
+		if dst.data != nil && src.data != nil {
+			d := dst.data[dstOff : dstOff+n]
+			s := src.data[srcOff : srcOff+n]
+			for i := range d {
+				d[i] += s[i]
+			}
+		}
+	}})
+}
+
+// ManualRecord installs a new pending instance on the event (as Record
+// does) but returns a fire function instead of tying completion to a
+// stream position. The MCCS service uses it to signal collective
+// completion into tenant streams across the process boundary: the shim
+// makes the tenant stream WaitEvent on the instance, and the service's
+// proxy engine fires it when the collective finishes.
+func (e *Event) ManualRecord() (fire func()) {
+	ri := &recordInstance{}
+	e.last = ri
+	s := e.s
+	return func() { ri.fire(s) }
+}
+
+// Record enqueues an event record (cudaEventRecord): the event's new
+// instance completes when all prior work on the stream has executed.
+func (st *Stream) Record(e *Event) {
+	ri := &recordInstance{}
+	e.last = ri
+	st.enqueue(op{kind: opRecord, ev: ri})
+}
+
+// WaitEvent enqueues a wait (cudaStreamWaitEvent): subsequent ops on this
+// stream do not run until the event's snapshot at call time has completed.
+// Per CUDA rules, a never-recorded event does not block.
+func (st *Stream) WaitEvent(e *Event) {
+	ri := e.last
+	if ri == nil || ri.done {
+		// Nothing to wait for; keep stream ordering with a zero kernel.
+		st.enqueue(op{kind: opKernel, dur: 0})
+		return
+	}
+	st.enqueue(op{kind: opWait, ev: ri})
+}
+
+// Synchronize blocks the calling process until every operation currently
+// enqueued on the stream has completed (cudaStreamSynchronize).
+func (st *Stream) Synchronize(p *sim.Proc) {
+	e := NewEvent(st.dev.s)
+	st.Record(e)
+	e.WaitHost(p)
+}

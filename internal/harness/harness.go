@@ -1,0 +1,350 @@
+// Package harness drives the paper's testbed experiments end to end: it
+// builds a cluster + fabric + deployment for one of the four evaluated
+// systems, launches tenant rank processes, runs measured collective loops
+// and aggregates bandwidth statistics. The cmd/ tools, the root-level
+// benchmarks and the integration tests all share these drivers.
+package harness
+
+import (
+	"fmt"
+
+	"mccs/internal/collective"
+	"mccs/internal/gpusim"
+	"mccs/internal/mccsd"
+	"mccs/internal/metrics"
+	"mccs/internal/ncclsim"
+	"mccs/internal/netsim"
+	"mccs/internal/policy"
+	"mccs/internal/sim"
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+)
+
+// Env is one experiment environment.
+type Env struct {
+	S          *sim.Scheduler
+	Cluster    *topo.Cluster
+	Fabric     *netsim.Fabric
+	Deployment *mccsd.Deployment
+}
+
+// NewTestbedEnv builds the paper's 4-host testbed under the given system.
+func NewTestbedEnv(system ncclsim.System) (*Env, error) {
+	return NewTestbedEnvSalted(system, 0)
+}
+
+// NewTestbedEnvSalted is NewTestbedEnv with an ECMP label salt, letting
+// repeated trials sample the ECMP collision distribution (the paper's
+// shaded percentile bands come from exactly this variance).
+func NewTestbedEnvSalted(system ncclsim.System, salt uint64) (*Env, error) {
+	return newTestbedEnv(system, salt, nil)
+}
+
+func newTestbedEnv(system ncclsim.System, salt uint64, mutate func(*mccsd.Config)) (*Env, error) {
+	cluster, err := topo.BuildClos(topo.TestbedConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := sim.New()
+	fabric := netsim.NewFabric(s, cluster.Net)
+	cfg := ncclsim.Config(system)
+	cfg.Proxy.LabelSalt = salt
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	dep := mccsd.NewDeployment(s, cluster, fabric, cfg)
+	return &Env{S: s, Cluster: cluster, Fabric: fabric, Deployment: dep}, nil
+}
+
+// InterleavedHosts returns the testbed hosts in rack-interleaved order
+// (rack0, rack1, rack0, rack1): the topology-oblivious node ordering a
+// cloud tenant's launcher produces, which is what makes the NCCL
+// baseline's rank-order ring zigzag across racks.
+func InterleavedHosts(c *topo.Cluster) []topo.HostID {
+	var rackHosts [][]topo.HostID
+	for _, h := range c.Hosts {
+		r := int(h.Rack)
+		for len(rackHosts) <= r {
+			rackHosts = append(rackHosts, nil)
+		}
+		rackHosts[r] = append(rackHosts[r], h.ID)
+	}
+	var out []topo.HostID
+	for i := 0; ; i++ {
+		progress := false
+		for _, hs := range rackHosts {
+			if i < len(hs) {
+				out = append(out, hs[i])
+				progress = true
+			}
+		}
+		if !progress {
+			return out
+		}
+	}
+}
+
+// SingleAppGPUs selects the GPUs for the paper's single-application
+// setups in user-rank order: nGPUs = 4 takes one GPU per host, nGPUs = 8
+// takes both, hosts rack-interleaved (see InterleavedHosts).
+func SingleAppGPUs(c *topo.Cluster, nGPUs int) ([]topo.GPUID, error) {
+	hosts := InterleavedHosts(c)
+	perHost := nGPUs / len(hosts)
+	if perHost < 1 || nGPUs%len(hosts) != 0 {
+		return nil, fmt.Errorf("harness: %d GPUs over %d hosts", nGPUs, len(hosts))
+	}
+	var gpus []topo.GPUID
+	for _, h := range hosts {
+		if perHost > len(c.Hosts[h].GPUs) {
+			return nil, fmt.Errorf("harness: host %d has %d GPUs, need %d", h, len(c.Hosts[h].GPUs), perHost)
+		}
+		gpus = append(gpus, c.Hosts[h].GPUs[:perHost]...)
+	}
+	return gpus, nil
+}
+
+// SingleAppConfig parameterizes a Fig. 6 run: one application, one
+// collective, one size, one system.
+type SingleAppConfig struct {
+	System ncclsim.System
+	Op     collective.Op
+	// Bytes is the output-buffer size (the paper's x-axis).
+	Bytes   int64
+	NumGPUs int
+	Warmup  int
+	Iters   int
+	// Trials repeats the whole experiment with different ECMP label
+	// salts; samples pool across trials. Defaults to 1.
+	Trials int
+	// Seed offsets the trial salts.
+	Seed uint64
+	// Pipeline is the number of collectives kept in flight. The default
+	// (1) synchronizes per iteration, which is how the paper's Fig. 6
+	// benchmark observes the per-operation datapath latency; deeper
+	// pipelining overlaps command latency with execution.
+	Pipeline int
+}
+
+// SingleAppResult aggregates one Fig. 6 cell.
+type SingleAppResult struct {
+	Config SingleAppConfig
+	// AlgBW and BusBW summarize per-iteration bandwidth in bytes/sec.
+	AlgBW metrics.Summary
+	BusBW metrics.Summary
+}
+
+// RunSingleApp executes a single-application collective benchmark,
+// pooling per-iteration bandwidth samples across Trials ECMP-salt trials.
+func RunSingleApp(cfg SingleAppConfig) (SingleAppResult, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 10
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 1
+	}
+	var algbw []float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		vals, err := runSingleTrial(cfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return SingleAppResult{}, err
+		}
+		algbw = append(algbw, vals...)
+	}
+	n := cfg.NumGPUs
+	factor := collective.BusBWFactor(cfg.Op, n)
+	busbw := make([]float64, len(algbw))
+	for i, v := range algbw {
+		busbw[i] = v * factor
+	}
+	return SingleAppResult{
+		Config: cfg,
+		AlgBW:  metrics.Summarize(algbw),
+		BusBW:  metrics.Summarize(busbw),
+	}, nil
+}
+
+// RunSingleAppWithSlices is RunSingleApp with the proxy's intra-step
+// slice pipelining overridden (1 = one monolithic chunk per ring step).
+// It is the ablation knob for the slice-pipelining design decision.
+func RunSingleAppWithSlices(cfg SingleAppConfig, maxSlices int) (SingleAppResult, error) {
+	return runSingleMutated(cfg, func(c *mccsd.Config) {
+		c.Proxy.MaxSlices = maxSlices
+	})
+}
+
+// RunSingleAppWithChannels is RunSingleApp with the MCCS strategy's ring
+// count capped — the multi-ring (NIC striping) ablation.
+func RunSingleAppWithChannels(cfg SingleAppConfig, channels int) (SingleAppResult, error) {
+	return runSingleMutated(cfg, func(c *mccsd.Config) {
+		c.Strategy = policy.OptimalRingStrategy(policy.RingStrategyOptions{
+			MaxChannels: channels, PinRoutes: true,
+		})
+	})
+}
+
+// RunSingleAppWithTree is RunSingleApp with binomial-tree collectives
+// enabled below treeThreshold output bytes — the tree-vs-ring ablation.
+func RunSingleAppWithTree(cfg SingleAppConfig, treeThreshold int64) (SingleAppResult, error) {
+	return runSingleMutated(cfg, func(c *mccsd.Config) {
+		c.Strategy = policy.OptimalRingStrategy(policy.RingStrategyOptions{
+			PinRoutes: true, TreeThreshold: treeThreshold,
+		})
+	})
+}
+
+func runSingleMutated(cfg SingleAppConfig, mutate func(*mccsd.Config)) (SingleAppResult, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 10
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 1
+	}
+	var algbw []float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		vals, err := runSingleTrialMutated(cfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15, mutate)
+		if err != nil {
+			return SingleAppResult{}, err
+		}
+		algbw = append(algbw, vals...)
+	}
+	factor := collective.BusBWFactor(cfg.Op, cfg.NumGPUs)
+	busbw := make([]float64, len(algbw))
+	for i, v := range algbw {
+		busbw[i] = v * factor
+	}
+	return SingleAppResult{
+		Config: cfg,
+		AlgBW:  metrics.Summarize(algbw),
+		BusBW:  metrics.Summarize(busbw),
+	}, nil
+}
+
+func runSingleTrial(cfg SingleAppConfig, salt uint64) ([]float64, error) {
+	return runSingleTrialMutated(cfg, salt, nil)
+}
+
+func runSingleTrialMutated(cfg SingleAppConfig, salt uint64, mutate func(*mccsd.Config)) ([]float64, error) {
+	env, err := newTestbedEnv(cfg.System, salt, mutate)
+	if err != nil {
+		return nil, err
+	}
+	gpus, err := SingleAppGPUs(env.Cluster, cfg.NumGPUs)
+	if err != nil {
+		return nil, err
+	}
+	n := len(gpus)
+	count := cfg.Bytes / 4
+	perRank := count
+	if cfg.Op == collective.AllGather {
+		perRank = count / int64(n)
+		if perRank < 1 {
+			return nil, fmt.Errorf("harness: %d bytes too small for %d-rank AllGather", cfg.Bytes, n)
+		}
+	}
+	var algbw []float64
+	errs := make([]error, n)
+	for rank, gpu := range gpus {
+		rank, gpu := rank, gpu
+		host := env.Cluster.HostOfGPU(gpu)
+		env.S.Go(fmt.Sprintf("app:rank%d", rank), func(p *sim.Proc) {
+			f := env.Deployment.Service(host).Frontend("bench")
+			var send, recv *gpusim.Buffer
+			var err error
+			if cfg.Op == collective.AllGather {
+				if send, err = f.MemAlloc(p, gpu, perRank*4, false); err != nil {
+					errs[rank] = err
+					return
+				}
+				if recv, err = f.MemAlloc(p, gpu, perRank*4*int64(n), false); err != nil {
+					errs[rank] = err
+					return
+				}
+			} else {
+				if recv, err = f.MemAlloc(p, gpu, perRank*4, false); err != nil {
+					errs[rank] = err
+					return
+				}
+			}
+			comm, err := f.CommInitRank(p, "bench", n, rank, gpu)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			issue := func() (*mccsd.OpHandle, error) {
+				switch cfg.Op {
+				case collective.AllGather:
+					return comm.AllGather(p, send, recv, perRank, nil)
+				case collective.AllReduce:
+					return comm.AllReduce(p, nil, recv, perRank, nil)
+				default:
+					return nil, fmt.Errorf("harness: unsupported single-app op %v", cfg.Op)
+				}
+			}
+			done, err := pipelinedLoop(p, issue, cfg.Warmup+cfg.Iters, cfg.Pipeline)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			if rank == 0 {
+				algbw = append(algbw, gapBandwidth(done, cfg.Bytes, cfg.Warmup)...)
+			}
+		})
+	}
+	if err := env.S.Run(); err != nil {
+		return nil, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return algbw, nil
+}
+
+// pipelinedLoop issues total collectives keeping up to depth in flight
+// (nccl-tests style) and returns each op's tenant-observed completion time.
+func pipelinedLoop(p *sim.Proc, issue func() (*mccsd.OpHandle, error), total, depth int) ([]sim.Time, error) {
+	if depth <= 0 {
+		depth = 1
+	}
+	var pending []*mccsd.OpHandle
+	done := make([]sim.Time, 0, total)
+	for it := 0; it < total; it++ {
+		h, err := issue()
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, h)
+		if len(pending) >= depth {
+			done = append(done, pending[0].Wait(p).Done)
+			pending = pending[1:]
+		}
+	}
+	for _, h := range pending {
+		done = append(done, h.Wait(p).Done)
+	}
+	return done, nil
+}
+
+// gapBandwidth converts completion timestamps into steady-state algorithm
+// bandwidth samples: outputBytes divided by the gap between consecutive
+// completions, skipping warmup iterations.
+func gapBandwidth(done []sim.Time, outputBytes int64, warmup int) []float64 {
+	var out []float64
+	for i := warmup + 1; i < len(done); i++ {
+		gap := done[i].Sub(done[i-1])
+		if gap <= 0 {
+			continue
+		}
+		out = append(out, collective.AlgBW(outputBytes, gap))
+	}
+	return out
+}
+
+var _ = spec.RouteECMP // referenced by sibling files

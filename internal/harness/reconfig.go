@@ -1,0 +1,217 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"mccs/internal/mccsd"
+	"mccs/internal/ncclsim"
+	"mccs/internal/netsim"
+	"mccs/internal/policy"
+	"mccs/internal/sim"
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+	"mccs/internal/transport"
+)
+
+// ReconfigConfig parameterizes the Fig. 7 runtime-adaptation showcase:
+// an 8-GPU AllReduce job on a ring of four switches, a rate-limited
+// background flow appearing on one clockwise inter-switch link, and a
+// provider-issued ring reversal that routes around it.
+type ReconfigConfig struct {
+	Bytes      int64         // per-iteration AllReduce size
+	RunFor     time.Duration // total experiment span
+	BgStart    time.Duration // when the background flow appears
+	BgRate     float64       // background flow rate, bytes/sec
+	ReconfigAt time.Duration // when the controller reverses the ring
+	SwitchBps  float64
+	NICBps     float64
+	// MaxSlices overrides the proxy's intra-step pipelining when > 0.
+	MaxSlices int
+	// UnserializedConns disables the transport's per-connection FIFO
+	// (the ablation showing why message serialization matters for
+	// recovery after phase skew).
+	UnserializedConns bool
+}
+
+// DefaultReconfigConfig mirrors the paper's scenario: 100 G switch links,
+// a 75 Gbps background flow at t=7.5 s, reconfiguration at t=12 s.
+func DefaultReconfigConfig() ReconfigConfig {
+	return ReconfigConfig{
+		Bytes:      128 << 20,
+		RunFor:     20 * time.Second,
+		BgStart:    7500 * time.Millisecond,
+		BgRate:     75 * 125e6,
+		ReconfigAt: 12 * time.Second,
+		SwitchBps:  100 * 125e6,
+		NICBps:     50 * 125e6,
+	}
+}
+
+// TimePoint is one iteration's bandwidth sample.
+type TimePoint struct {
+	T     sim.Time
+	AlgBW float64
+}
+
+// ReconfigResult is the Fig. 7 time series plus phase averages.
+type ReconfigResult struct {
+	Series []TimePoint
+	// Mean algorithm bandwidth before the background flow, between the
+	// background flow and the reconfiguration, and after it.
+	Before, Degraded, Recovered float64
+}
+
+// RunReconfigShowcase executes the Fig. 7 experiment.
+func RunReconfigShowcase(cfg ReconfigConfig) (ReconfigResult, error) {
+	cluster, err := topo.BuildSwitchRing(topo.RingConfig{
+		Switches: 4, GPUsPerHost: 2, NICsPerHost: 2,
+		NICBps: cfg.NICBps, SwitchBps: cfg.SwitchBps,
+	})
+	if err != nil {
+		return ReconfigResult{}, err
+	}
+	s := sim.New()
+	fabric := netsim.NewFabric(s, cluster.Net)
+	svcCfg := ncclsim.Config(ncclsim.MCCS)
+	if cfg.MaxSlices > 0 {
+		svcCfg.Proxy.MaxSlices = cfg.MaxSlices
+	}
+	if cfg.UnserializedConns {
+		svcCfg.Transport = transport.DefaultConfig(cluster.IntraHostBps)
+		svcCfg.Transport.UnserializedSends = true
+	}
+	dep := mccsd.NewDeployment(s, cluster, fabric, svcCfg)
+
+	var gpus []topo.GPUID
+	for _, h := range cluster.Hosts {
+		gpus = append(gpus, h.GPUs...)
+	}
+	n := len(gpus)
+	count := cfg.Bytes / 4
+	var series []TimePoint
+	var errs []error
+	var commID spec.CommID
+
+	// Rank processes loop forever as daemons; RunUntil bounds the
+	// experiment. (Per-rank completion times skew slightly, so a
+	// time-based loop exit would desynchronize the ranks' iteration
+	// counts and deadlock the final collective.)
+	for rank, gpu := range gpus {
+		rank, gpu := rank, gpu
+		host := cluster.HostOfGPU(gpu)
+		s.GoDaemon(fmt.Sprintf("job:rank%d", rank), func(p *sim.Proc) {
+			f := dep.Service(host).Frontend("job")
+			buf, err := f.MemAlloc(p, gpu, count*4, false)
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			comm, err := f.CommInitRank(p, "job", n, rank, gpu)
+			if err != nil {
+				errs = append(errs, err)
+				return
+			}
+			if rank == 0 {
+				commID = comm.ID()
+			}
+			for {
+				h, err := comm.AllReduce(p, nil, buf, count, nil)
+				if err != nil {
+					errs = append(errs, err)
+					return
+				}
+				stats := h.Wait(p)
+				if rank == 0 {
+					series = append(series, TimePoint{T: stats.Done, AlgBW: stats.AlgBW()})
+				}
+			}
+		})
+	}
+
+	// Background flow between two switches in the clockwise direction
+	// (the direction the job's ring uses).
+	s.At(sim.Time(cfg.BgStart), func() {
+		link, err := cluster.RingLinkBetween(1, 2)
+		if err != nil {
+			errs = append(errs, err)
+			return
+		}
+		l := cluster.Net.Link(link)
+		fabric.StartFlow(netsim.FlowOpts{
+			Src: l.From, Dst: l.To,
+			Bytes:     0, // endless
+			Route:     []netsim.LinkID{link},
+			FixedRate: cfg.BgRate,
+			External:  true,
+		})
+	})
+
+	// The external centralized manager issues the ring reversal.
+	s.Go("controller", func(p *sim.Proc) {
+		p.SleepUntil(sim.Time(cfg.ReconfigAt))
+		if commID == 0 {
+			errs = append(errs, fmt.Errorf("harness: communicator not ready at reconfig time"))
+			return
+		}
+		cur := mustStrategy(dep, commID)
+		rev := spec.Strategy{}
+		for _, ch := range cur.Channels {
+			order := append([]int(nil), ch.Order...)
+			for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+				order[i], order[j] = order[j], order[i]
+			}
+			rev.Channels = append(rev.Channels, spec.ChannelSpec{Order: order, Route: ch.Route})
+		}
+		if err := dep.Reconfigure(p, commID, rev); err != nil {
+			errs = append(errs, err)
+		}
+	})
+
+	if err := s.RunUntil(sim.Time(cfg.RunFor)); err != nil {
+		return ReconfigResult{}, err
+	}
+	if len(errs) > 0 {
+		return ReconfigResult{}, errs[0]
+	}
+
+	res := ReconfigResult{Series: series}
+	var nb, nd, nr int
+	// The first post-reconfig sample straddles the barrier stall; skip a
+	// short settle window when averaging the recovered phase.
+	settle := sim.Time(cfg.ReconfigAt) + sim.Time(500*time.Millisecond)
+	for _, pt := range series {
+		switch {
+		case pt.T < sim.Time(cfg.BgStart):
+			res.Before += pt.AlgBW
+			nb++
+		case pt.T < sim.Time(cfg.ReconfigAt):
+			res.Degraded += pt.AlgBW
+			nd++
+		case pt.T >= settle:
+			res.Recovered += pt.AlgBW
+			nr++
+		}
+	}
+	if nb > 0 {
+		res.Before /= float64(nb)
+	}
+	if nd > 0 {
+		res.Degraded /= float64(nd)
+	}
+	if nr > 0 {
+		res.Recovered /= float64(nr)
+	}
+	return res, nil
+}
+
+func mustStrategy(dep *mccsd.Deployment, id spec.CommID) spec.Strategy {
+	for _, ci := range dep.View() {
+		if ci.ID == id {
+			return ci.Strategy
+		}
+	}
+	panic(fmt.Sprintf("harness: communicator %d not in view", id))
+}
+
+var _ = policy.NewController

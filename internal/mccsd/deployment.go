@@ -1,0 +1,281 @@
+// Package mccsd implements the MCCS service: the trusted, provider-
+// controlled process that owns all GPUs and NICs of every host (paper §3).
+//
+// A Deployment is the cluster-wide installation: one Service per host,
+// one transport engine per host, one device per GPU, and the communicator
+// registry. Tenant applications talk to their host's Service through a
+// Frontend (the shim library boundary); the cloud provider talks to the
+// Deployment through the management API (View / Reconfigure / UpdateRoutes
+// / SetTrafficSchedule / CommTrace), which is what the external controller
+// in internal/policy drives.
+package mccsd
+
+import (
+	"fmt"
+	"time"
+
+	"mccs/internal/gpusim"
+	"mccs/internal/netsim"
+	"mccs/internal/proxy"
+	"mccs/internal/sim"
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+	"mccs/internal/transport"
+)
+
+// StrategyProvider chooses the initial collective strategy for a new
+// communicator. MCCS installs the provider's policy; the NCCL baseline
+// installs rank-order rings.
+type StrategyProvider func(cluster *topo.Cluster, info *spec.CommInfo) spec.Strategy
+
+// Config sets the service's cost model and behaviour.
+type Config struct {
+	Proxy     proxy.Config
+	Transport transport.Config
+	Device    gpusim.DeviceConfig
+
+	// CmdLatency is the shim-to-proxy command delivery latency (shared
+	// memory queue plus internal engine hops). CompletionLatency is the
+	// reverse notification path. Their sum is the paper's measured
+	// 50-80 us MCCS datapath overhead.
+	CmdLatency        time.Duration
+	CompletionLatency time.Duration
+
+	// DefaultChannels is the channel (ring) count a strategy provider
+	// may consult; the built-in providers use one ring per equal-cost
+	// path, capped by this.
+	DefaultChannels int
+
+	// Baseline marks library mode (the NCCL baseline): reconfiguration
+	// is not supported, matching a library that fixes its strategy at
+	// init time.
+	Baseline bool
+
+	// Strategy picks initial strategies; nil defaults to rank-order
+	// rings with ECMP routing (what NCCL does with user-assigned ranks).
+	Strategy StrategyProvider
+}
+
+// DefaultConfig returns the MCCS service configuration with the paper's
+// measured datapath overhead.
+func DefaultConfig() Config {
+	return Config{
+		Proxy:             proxy.DefaultConfig(),
+		Device:            gpusim.DefaultConfig(),
+		CmdLatency:        45 * time.Microsecond,
+		CompletionLatency: 20 * time.Microsecond,
+		DefaultChannels:   2,
+	}
+}
+
+// BaselineConfig returns library mode: in-process NCCL has no service hop,
+// only kernel-launch-scale call latency, and cannot reconfigure.
+func BaselineConfig() Config {
+	c := DefaultConfig()
+	c.CmdLatency = 4 * time.Microsecond
+	c.CompletionLatency = 2 * time.Microsecond
+	c.Baseline = true
+	return c
+}
+
+// Deployment is the cluster-wide MCCS installation.
+type Deployment struct {
+	S       *sim.Scheduler
+	Cluster *topo.Cluster
+	Fabric  *netsim.Fabric
+	cfg     Config
+
+	engines  map[topo.HostID]*transport.Engine
+	devices  map[topo.GPUID]*gpusim.Device
+	services map[topo.HostID]*Service
+
+	comms      map[spec.CommID]*proxy.Comm
+	nextCommID spec.CommID
+	rdv        map[string]*rendezvous
+	destroyed  map[spec.CommID]int
+	priorities map[spec.AppID]int
+}
+
+// NewDeployment installs the service on every host of the cluster.
+func NewDeployment(s *sim.Scheduler, cluster *topo.Cluster, fabric *netsim.Fabric, cfg Config) *Deployment {
+	if cfg.DefaultChannels <= 0 {
+		cfg.DefaultChannels = 1
+	}
+	if cfg.Transport.IntraBps <= 0 {
+		cfg.Transport = transport.DefaultConfig(cluster.IntraHostBps)
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = RankOrderStrategy
+	}
+	d := &Deployment{
+		S: s, Cluster: cluster, Fabric: fabric, cfg: cfg,
+		engines:    make(map[topo.HostID]*transport.Engine),
+		devices:    make(map[topo.GPUID]*gpusim.Device),
+		services:   make(map[topo.HostID]*Service),
+		comms:      make(map[spec.CommID]*proxy.Comm),
+		rdv:        make(map[string]*rendezvous),
+		destroyed:  make(map[spec.CommID]int),
+		priorities: make(map[spec.AppID]int),
+	}
+	for h := range cluster.Hosts {
+		hid := topo.HostID(h)
+		d.engines[hid] = transport.NewEngine(s, cluster, fabric, hid, cfg.Transport)
+		d.services[hid] = &Service{dep: d, host: hid, frontends: make(map[spec.AppID]*Frontend)}
+	}
+	for g := range cluster.GPUs {
+		gid := topo.GPUID(g)
+		d.devices[gid] = gpusim.NewDevice(s, g, cfg.Device)
+	}
+	return d
+}
+
+// Config returns the deployment's configuration.
+func (d *Deployment) Config() Config { return d.cfg }
+
+// Service returns the per-host service instance.
+func (d *Deployment) Service(h topo.HostID) *Service { return d.services[h] }
+
+// Device returns the simulated GPU device; tenant code uses it to create
+// its compute streams.
+func (d *Deployment) Device(g topo.GPUID) *gpusim.Device { return d.devices[g] }
+
+// Engine returns the per-host transport engine (tests and the controller
+// use it for gates and counters).
+func (d *Deployment) Engine(h topo.HostID) *transport.Engine { return d.engines[h] }
+
+// RankOrderStrategy is the NCCL-baseline provider: rings follow the
+// user-assigned rank order (inter-host ring = rank order), one channel per
+// equal-cost path up to the configured maximum, all routed by ECMP.
+func RankOrderStrategy(cluster *topo.Cluster, info *spec.CommInfo) spec.Strategy {
+	order := make([]int, info.NumRanks())
+	for i := range order {
+		order[i] = i
+	}
+	nch := defaultChannelCount(cluster, info)
+	hosts := make([]topo.HostID, info.NumRanks())
+	for i, ri := range info.Ranks {
+		hosts[i] = ri.Host
+	}
+	st := spec.Strategy{}
+	// NCCL stripes NICs across channels within a host (its intra-host
+	// optimization works even when the inter-host order is naive).
+	for _, chOrder := range spec.StripeChannelOrders(order, hosts, nch) {
+		st.Channels = append(st.Channels, spec.ChannelSpec{
+			Order: chOrder,
+			Route: spec.RouteECMP,
+		})
+	}
+	return st
+}
+
+// defaultChannelCount mirrors NCCL's multi-channel behaviour: enough rings
+// to exploit the fabric's path diversity, but no more rings than the NICs
+// the communicator drives per host (one affinity NIC per rank).
+func defaultChannelCount(cluster *topo.Cluster, info *spec.CommInfo) int {
+	hosts := info.Hosts()
+	if len(hosts) < 2 {
+		return 1
+	}
+	a := cluster.Hosts[hosts[0]].NICs[0]
+	b := cluster.Hosts[hosts[1]].NICs[0]
+	n := len(cluster.PathsBetweenNICs(a, b))
+	if n < 1 {
+		n = 1
+	}
+	counts := make(map[topo.HostID]int)
+	for _, ri := range info.Ranks {
+		counts[ri.Host]++
+	}
+	for _, c := range counts {
+		if c < n {
+			n = c
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// destroyRank records one rank's Destroy call; when every rank has
+// called, the communicator is torn down and removed from the view.
+func (d *Deployment) destroyRank(id spec.CommID) error {
+	c, ok := d.comms[id]
+	if !ok {
+		return fmt.Errorf("mccsd: destroy of unknown communicator %d", id)
+	}
+	d.destroyed[id]++
+	if d.destroyed[id] == c.Info.NumRanks() {
+		c.Destroy()
+		delete(d.comms, id)
+		delete(d.destroyed, id)
+	}
+	return nil
+}
+
+// rendezvous collects CommInitRank calls until all ranks arrive.
+type rendezvous struct {
+	key     string
+	app     spec.AppID
+	nranks  int
+	arrived int
+	ranks   []spec.RankInfo
+	present []bool
+	fut     *sim.Future[commOrErr]
+}
+
+type commOrErr struct {
+	comm *proxy.Comm
+	err  error
+}
+
+// register adds one rank; when complete, it builds the communicator.
+func (d *Deployment) register(key string, app spec.AppID, nranks, rank int, gpu topo.GPUID) (*sim.Future[commOrErr], error) {
+	r, ok := d.rdv[key]
+	if !ok {
+		r = &rendezvous{
+			key: key, app: app, nranks: nranks,
+			ranks:   make([]spec.RankInfo, nranks),
+			present: make([]bool, nranks),
+			fut:     sim.NewFuture[commOrErr](),
+		}
+		d.rdv[key] = r
+	}
+	if r.nranks != nranks {
+		return nil, fmt.Errorf("mccsd: rendezvous %q size mismatch: %d vs %d", key, nranks, r.nranks)
+	}
+	if r.app != app {
+		return nil, fmt.Errorf("mccsd: rendezvous %q crosses applications %q and %q", key, r.app, app)
+	}
+	if rank < 0 || rank >= nranks {
+		return nil, fmt.Errorf("mccsd: rank %d out of range [0,%d)", rank, nranks)
+	}
+	if r.present[rank] {
+		return nil, fmt.Errorf("mccsd: rank %d registered twice for %q", rank, key)
+	}
+	r.present[rank] = true
+	r.ranks[rank] = spec.RankInfo{
+		Rank: rank, GPU: gpu,
+		Host: d.Cluster.HostOfGPU(gpu),
+		NIC:  d.Cluster.NICOfGPU(gpu),
+	}
+	r.arrived++
+	if r.arrived == nranks {
+		delete(d.rdv, key)
+		d.nextCommID++
+		info := spec.CommInfo{
+			ID: d.nextCommID, App: app,
+			Ranks:    append([]spec.RankInfo(nil), r.ranks...),
+			Priority: d.priorities[app],
+		}
+		info.Strategy = d.cfg.Strategy(d.Cluster, &info)
+		comm, err := proxy.NewComm(d.S, d.Cluster, d.engines, d.devices, info, d.cfg.Proxy)
+		if err != nil {
+			r.fut.Set(d.S, commOrErr{err: err})
+			return r.fut, nil
+		}
+		d.comms[info.ID] = comm
+		r.fut.Set(d.S, commOrErr{comm: comm})
+	}
+	return r.fut, nil
+}

@@ -1,0 +1,358 @@
+package mccsd
+
+import (
+	"fmt"
+
+	"mccs/internal/collective"
+	"mccs/internal/gpusim"
+	"mccs/internal/proxy"
+	"mccs/internal/sim"
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+)
+
+// Service is the per-host MCCS service instance. Tenants reach it through
+// per-application Frontends; each Frontend models the shim library's
+// shared-memory command queue plus the service-internal engine hops.
+type Service struct {
+	dep       *Deployment
+	host      topo.HostID
+	frontends map[spec.AppID]*Frontend
+}
+
+// Host returns the host this service instance runs on.
+func (sv *Service) Host() topo.HostID { return sv.host }
+
+// Frontend returns (creating on first use) the frontend engine for an
+// application on this host.
+func (sv *Service) Frontend(app spec.AppID) *Frontend {
+	f, ok := sv.frontends[app]
+	if !ok {
+		f = &Frontend{sv: sv, app: app}
+		sv.frontends[app] = f
+	}
+	return f
+}
+
+// Frontend is the application-facing engine: the MCCS shim boundary. All
+// methods are called from tenant processes; each models the command-path
+// latency of crossing from the tenant into the service.
+type Frontend struct {
+	sv  *Service
+	app spec.AppID
+}
+
+// App returns the owning application.
+func (f *Frontend) App() spec.AppID { return f.app }
+
+func (f *Frontend) dep() *Deployment { return f.sv.dep }
+
+// checkGPU validates that the GPU is on this frontend's host.
+func (f *Frontend) checkGPU(gpu topo.GPUID) error {
+	if int(gpu) < 0 || int(gpu) >= len(f.dep().Cluster.GPUs) {
+		return fmt.Errorf("mccsd: unknown GPU %d", gpu)
+	}
+	if f.dep().Cluster.HostOfGPU(gpu) != f.sv.host {
+		return fmt.Errorf("mccsd: GPU %d is on host %d, not host %d",
+			gpu, f.dep().Cluster.HostOfGPU(gpu), f.sv.host)
+	}
+	return nil
+}
+
+// MemAlloc redirects a GPU allocation to the service (paper §4.1 "Memory
+// Management"): the service allocates on the tenant's behalf and shares
+// the buffer back through an inter-process memory handle, which the shim
+// opens. backed buffers carry real data for correctness verification.
+func (f *Frontend) MemAlloc(p *sim.Proc, gpu topo.GPUID, bytes int64, backed bool) (*gpusim.Buffer, error) {
+	if err := f.checkGPU(gpu); err != nil {
+		return nil, err
+	}
+	p.Sleep(f.dep().cfg.CmdLatency)
+	dev := f.dep().devices[gpu]
+	var (
+		buf *gpusim.Buffer
+		err error
+	)
+	if backed {
+		buf, err = dev.AllocBacked(bytes)
+	} else {
+		buf, err = dev.Alloc(bytes)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Round-trip through the IPC handle machinery the way the real shim
+	// does (service allocates, exports; shim opens).
+	alias, err := gpusim.OpenMemHandle(buf.IPCHandle())
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(f.dep().cfg.CompletionLatency)
+	return alias, nil
+}
+
+// MemFree releases a buffer obtained from MemAlloc: the shim closes its
+// IPC mapping, then the service frees the allocation.
+func (f *Frontend) MemFree(p *sim.Proc, buf *gpusim.Buffer) error {
+	p.Sleep(f.dep().cfg.CmdLatency)
+	if err := gpusim.CloseMemHandle(buf); err != nil {
+		return err
+	}
+	return buf.Free()
+}
+
+// Comm is the tenant-side communicator handle (the shim's view). It
+// carries the event plumbing of §4.1: a per-communicator completion event
+// tenant streams wait on, and on-demand per-stream events the service
+// waits on before touching tenant data.
+type Comm struct {
+	f         *Frontend
+	pc        *proxy.Comm
+	rank      int
+	dev       *gpusim.Device
+	destroyed bool
+
+	commEvent    *gpusim.Event
+	streamEvents map[*gpusim.Stream]*gpusim.Event
+}
+
+// CommInitRank registers this process as one rank of a communicator
+// (ncclCommInitRank analogue). key is the out-of-band unique ID; the call
+// blocks until all nranks ranks of the application have registered and the
+// service has built the communicator under the provider-chosen strategy.
+func (f *Frontend) CommInitRank(p *sim.Proc, key string, nranks, rank int, gpu topo.GPUID) (*Comm, error) {
+	if err := f.checkGPU(gpu); err != nil {
+		return nil, err
+	}
+	if nranks < 1 {
+		return nil, fmt.Errorf("mccsd: communicator of %d ranks", nranks)
+	}
+	p.Sleep(f.dep().cfg.CmdLatency)
+	fut, err := f.dep().register(key, f.app, nranks, rank, gpu)
+	if err != nil {
+		return nil, err
+	}
+	res := fut.Wait(p)
+	if res.err != nil {
+		return nil, res.err
+	}
+	return &Comm{
+		f: f, pc: res.comm, rank: rank,
+		dev:          f.dep().devices[gpu],
+		commEvent:    gpusim.NewEvent(f.dep().S),
+		streamEvents: make(map[*gpusim.Stream]*gpusim.Event),
+	}, nil
+}
+
+// Rank returns this handle's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.pc.Info.NumRanks() }
+
+// ID returns the communicator's cluster-wide ID.
+func (c *Comm) ID() spec.CommID { return c.pc.Info.ID }
+
+// OpStats is the tenant-observed timing of one collective.
+type OpStats struct {
+	Op     collective.Op
+	Issued sim.Time // when the shim call was made
+	Done   sim.Time // when the completion reached the tenant
+	Bytes  int64    // output bytes (AlgBW numerator)
+}
+
+// Elapsed returns the tenant-observed duration.
+func (s OpStats) Elapsed() sim.Duration { return s.Done.Sub(s.Issued) }
+
+// AlgBW returns the algorithm bandwidth in bytes/sec.
+func (s OpStats) AlgBW() float64 { return collective.AlgBW(s.Bytes, s.Elapsed()) }
+
+// OpHandle tracks one issued collective.
+type OpHandle struct {
+	done *sim.Future[OpStats]
+}
+
+// Wait blocks until the collective completes and returns its stats.
+func (h *OpHandle) Wait(p *sim.Proc) OpStats { return h.done.Wait(p) }
+
+// Ready reports whether the collective has completed.
+func (h *OpHandle) Ready() bool { return h.done.Ready() }
+
+// streamEvent returns the on-demand event for an application stream,
+// creating it on first use (paper §4.1: "the MCCS shim creates events in
+// an on-demand fashion whenever a new application stream is used").
+func (c *Comm) streamEvent(st *gpusim.Stream) *gpusim.Event {
+	ev, ok := c.streamEvents[st]
+	if !ok {
+		ev = gpusim.NewEvent(c.f.dep().S)
+		c.streamEvents[st] = ev
+	}
+	return ev
+}
+
+// issue performs the shim-side synchronization dance and hands the op to
+// the rank's proxy runner:
+//  1. record the app stream's event (collective depends on prior compute);
+//  2. install a new completion instance on the communicator event and make
+//     the app stream wait on it (subsequent compute depends on the
+//     collective);
+//  3. deliver the request to the proxy after the command-path latency.
+func (c *Comm) issue(p *sim.Proc, op collective.Op, root int, count int64, send, recv *gpusim.Buffer, stream *gpusim.Stream) (*OpHandle, error) {
+	if c.destroyed {
+		return nil, fmt.Errorf("mccsd: %v on destroyed communicator %d", op, c.ID())
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("mccsd: %v with count %d", op, count)
+	}
+	if recv == nil {
+		return nil, fmt.Errorf("mccsd: %v without receive buffer", op)
+	}
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mccsd: root %d out of range", root)
+	}
+	d := c.f.dep()
+	s := d.S
+
+	var appInst gpusim.EventInstance
+	if stream != nil {
+		appEv := c.streamEvent(stream)
+		stream.Record(appEv)
+		// Snapshot at issue time: a later collective re-records the
+		// same stream event, and the proxy must not bind to that.
+		appInst = appEv.Snapshot()
+	}
+	fire := c.commEvent.ManualRecord()
+	if stream != nil {
+		stream.WaitEvent(c.commEvent)
+	}
+
+	issued := s.Now()
+	h := &OpHandle{done: sim.NewFuture[OpStats]()}
+	outBytes := count * 4
+	if op == collective.AllGather {
+		outBytes *= int64(c.Size())
+	}
+	req := &proxy.OpRequest{
+		Op: op, Root: root, Count: count,
+		SendBuf: send, RecvBuf: recv,
+		AppEvent: appInst,
+		CompleteFire: func() {
+			s.After(d.cfg.CompletionLatency, func() {
+				fire()
+				h.done.Set(s, OpStats{Op: op, Issued: issued, Done: s.Now(), Bytes: outBytes})
+			})
+		},
+	}
+	runner := c.pc.Runners[c.rank]
+	s.After(d.cfg.CmdLatency, func() { runner.Enqueue(req) })
+	return h, nil
+}
+
+// AllReduce sums count elements across all ranks (in place when send ==
+// recv or send is nil).
+func (c *Comm) AllReduce(p *sim.Proc, send, recv *gpusim.Buffer, count int64, stream *gpusim.Stream) (*OpHandle, error) {
+	if send == nil {
+		send = recv
+	}
+	return c.issue(p, collective.AllReduce, 0, count, send, recv, stream)
+}
+
+// AllGather concatenates each rank's count elements into recv, laid out by
+// rank.
+func (c *Comm) AllGather(p *sim.Proc, send, recv *gpusim.Buffer, count int64, stream *gpusim.Stream) (*OpHandle, error) {
+	if send == nil {
+		return nil, fmt.Errorf("mccsd: AllGather requires a send buffer")
+	}
+	return c.issue(p, collective.AllGather, 0, count, send, recv, stream)
+}
+
+// ReduceScatter sums count elements across ranks, leaving region r of the
+// sum on rank r (in place).
+func (c *Comm) ReduceScatter(p *sim.Proc, send, recv *gpusim.Buffer, count int64, stream *gpusim.Stream) (*OpHandle, error) {
+	if send == nil {
+		send = recv
+	}
+	return c.issue(p, collective.ReduceScatter, 0, count, send, recv, stream)
+}
+
+// Broadcast copies root's count elements to every rank (in place).
+func (c *Comm) Broadcast(p *sim.Proc, buf *gpusim.Buffer, count int64, root int, stream *gpusim.Stream) (*OpHandle, error) {
+	return c.issue(p, collective.Broadcast, root, count, buf, buf, stream)
+}
+
+// Reduce sums count elements across ranks onto the root (in place).
+func (c *Comm) Reduce(p *sim.Proc, buf *gpusim.Buffer, count int64, root int, stream *gpusim.Stream) (*OpHandle, error) {
+	return c.issue(p, collective.Reduce, root, count, buf, buf, stream)
+}
+
+// issueP2P shares the shim-side synchronization dance with issue but
+// targets the proxy's point-to-point path.
+func (c *Comm) issueP2P(send bool, peer int, count int64, buf *gpusim.Buffer, stream *gpusim.Stream) (*OpHandle, error) {
+	if c.destroyed {
+		return nil, fmt.Errorf("mccsd: p2p on destroyed communicator %d", c.ID())
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("mccsd: p2p with count %d", count)
+	}
+	if buf == nil {
+		return nil, fmt.Errorf("mccsd: p2p without buffer")
+	}
+	if peer < 0 || peer >= c.Size() || peer == c.rank {
+		return nil, fmt.Errorf("mccsd: p2p peer %d invalid for rank %d of %d", peer, c.rank, c.Size())
+	}
+	d := c.f.dep()
+	s := d.S
+
+	var appInst gpusim.EventInstance
+	if stream != nil {
+		appEv := c.streamEvent(stream)
+		stream.Record(appEv)
+		appInst = appEv.Snapshot()
+	}
+	fire := c.commEvent.ManualRecord()
+	if stream != nil {
+		stream.WaitEvent(c.commEvent)
+	}
+
+	issued := s.Now()
+	h := &OpHandle{done: sim.NewFuture[OpStats]()}
+	req := &proxy.P2PRequest{
+		Peer: peer, Send: send, Count: count, Buf: buf,
+		AppEvent: appInst,
+		CompleteFire: func() {
+			s.After(d.cfg.CompletionLatency, func() {
+				fire()
+				h.done.Set(s, OpStats{Issued: issued, Done: s.Now(), Bytes: count * 4})
+			})
+		},
+	}
+	runner := c.pc.Runners[c.rank]
+	s.After(d.cfg.CmdLatency, func() { runner.Enqueue(req) })
+	return h, nil
+}
+
+// Send transmits count elements of buf to peer; the peer must issue a
+// matching Recv (ncclSend analogue).
+func (c *Comm) Send(p *sim.Proc, buf *gpusim.Buffer, count int64, peer int, stream *gpusim.Stream) (*OpHandle, error) {
+	return c.issueP2P(true, peer, count, buf, stream)
+}
+
+// Recv receives count elements from peer into buf (ncclRecv analogue).
+func (c *Comm) Recv(p *sim.Proc, buf *gpusim.Buffer, count int64, peer int, stream *gpusim.Stream) (*OpHandle, error) {
+	return c.issueP2P(false, peer, count, buf, stream)
+}
+
+// Destroy releases this rank's handle (ncclCommDestroy analogue). When
+// every rank has destroyed its handle, the service tears the communicator
+// down and removes it from the management view. All outstanding
+// operations must have completed. Calling any method on a destroyed
+// handle is an error.
+func (c *Comm) Destroy(p *sim.Proc) error {
+	if c.destroyed {
+		return fmt.Errorf("mccsd: communicator %d rank %d destroyed twice", c.ID(), c.rank)
+	}
+	c.destroyed = true
+	d := c.f.dep()
+	p.Sleep(d.cfg.CmdLatency)
+	return d.destroyRank(c.pc.Info.ID)
+}

@@ -1,0 +1,130 @@
+// Package metrics provides the statistics the evaluation harnesses report:
+// summaries with percentile intervals (the paper's error bars), CDFs
+// (Fig. 11) and small formatting helpers.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of measurements.
+type Summary struct {
+	N            int
+	Mean         float64
+	Min, Max     float64
+	P5, P50, P95 float64
+	StdDev       float64
+}
+
+// Summarize computes a Summary. An empty input yields a zero Summary.
+func Summarize(vals []float64) Summary {
+	if len(vals) == 0 {
+		return Summary{}
+	}
+	s := make([]float64, len(vals))
+	copy(s, vals)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	for _, v := range s {
+		sq += (v - mean) * (v - mean)
+	}
+	return Summary{
+		N:    len(s),
+		Mean: mean,
+		Min:  s[0], Max: s[len(s)-1],
+		P5:     Percentile(s, 0.05),
+		P50:    Percentile(s, 0.50),
+		P95:    Percentile(s, 0.95),
+		StdDev: math.Sqrt(sq / float64(len(s))),
+	}
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of a sorted sample using
+// linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// CDF returns the empirical CDF of the sample.
+func CDF(vals []float64) []CDFPoint {
+	if len(vals) == 0 {
+		return nil
+	}
+	s := make([]float64, len(vals))
+	copy(s, vals)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{Value: v, Fraction: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// GBps formats a bytes/sec rate as GB/s with 2 decimals (the paper's
+// algorithm/bus bandwidth unit).
+func GBps(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2f GB/s", bytesPerSec/1e9)
+}
+
+// HumanBytes formats a byte count the way the paper labels data sizes.
+func HumanBytes(b int64) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", b>>30)
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// Speedup returns new/old expressed as a multiplier of improvement for
+// completion times (old/new) guarded against zero.
+func Speedup(oldDur, newDur float64) float64 {
+	if newDur <= 0 {
+		return 0
+	}
+	return oldDur / newDur
+}
+
+// Mean of a sample (0 when empty).
+func Mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}

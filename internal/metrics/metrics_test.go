@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.P50 != 2.5 {
+		t.Errorf("p50 = %g", s.P50)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("stddev = %g", s.StdDev)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+	one := Summarize([]float64{7})
+	if one.P5 != 7 || one.P95 != 7 || one.Mean != 7 {
+		t.Errorf("single summary = %+v", one)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 0}, {1, 40}, {0.5, 20}, {0.25, 10}, {0.125, 5},
+	}
+	for _, tc := range cases {
+		if got := Percentile(sorted, tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Percentile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile not 0")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatalf("cdf len = %d", len(pts))
+	}
+	if pts[0].Value != 1 || pts[2].Value != 3 {
+		t.Errorf("cdf not sorted: %+v", pts)
+	}
+	if pts[2].Fraction != 1 {
+		t.Errorf("last fraction = %g", pts[2].Fraction)
+	}
+	if CDF(nil) != nil {
+		t.Error("empty cdf not nil")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := GBps(2.5e9); got != "2.50 GB/s" {
+		t.Errorf("GBps = %q", got)
+	}
+	cases := map[int64]string{
+		512:       "512B",
+		32 << 10:  "32KB",
+		128 << 20: "128MB",
+		2 << 30:   "2GB",
+		1500:      "1500B",
+	}
+	for b, want := range cases {
+		if got := HumanBytes(b); got != want {
+			t.Errorf("HumanBytes(%d) = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestSpeedupAndMean(t *testing.T) {
+	if Speedup(2, 1) != 2 {
+		t.Error("speedup wrong")
+	}
+	if Speedup(2, 0) != 0 {
+		t.Error("zero-duration speedup not guarded")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean not 0")
+	}
+}
+
+// Property: Summarize is order-invariant and percentiles are monotone and
+// bounded by min/max.
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := vals[:0]
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s1 := Summarize(clean)
+		shuf := append([]float64(nil), clean...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(shuf)))
+		s2 := Summarize(shuf)
+		if s1 != s2 {
+			return false
+		}
+		return s1.Min <= s1.P5 && s1.P5 <= s1.P50 && s1.P50 <= s1.P95 && s1.P95 <= s1.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

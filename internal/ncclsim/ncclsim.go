@@ -1,0 +1,67 @@
+// Package ncclsim configures the paper's baselines on the shared
+// substrate. The baselines are not stubs: they run the same proxy,
+// transport and fabric code as MCCS — what changes is exactly what the
+// paper says changes:
+//
+//	NCCL      — library mode: rank-order inter-host rings (NCCL connects
+//	            rings "according to the ordering of user-specified ranks"),
+//	            ECMP routing, strategy fixed at init, no service datapath
+//	            overhead.
+//	NCCL(OR)  — NCCL manually given the locality-aware optimal ring (the
+//	            paper's strongest library baseline), still ECMP.
+//	MCCS(-FA) — the MCCS service (datapath overhead included) with optimal
+//	            rings but no flow assignment: routing left to ECMP.
+//	MCCS      — the full system: optimal rings, channels pinned one per
+//	            equal-cost path.
+package ncclsim
+
+import (
+	"mccs/internal/mccsd"
+	"mccs/internal/policy"
+)
+
+// System enumerates the four evaluated configurations.
+type System int
+
+const (
+	NCCL System = iota
+	NCCLOR
+	MCCSNoFA
+	MCCS
+)
+
+var names = [...]string{"NCCL", "NCCL(OR)", "MCCS(-FA)", "MCCS"}
+
+func (s System) String() string {
+	if int(s) < len(names) {
+		return names[s]
+	}
+	return "Unknown"
+}
+
+// Systems lists all four in the paper's presentation order.
+func Systems() []System { return []System{NCCL, NCCLOR, MCCSNoFA, MCCS} }
+
+// Config returns the deployment configuration for a system.
+func Config(s System) mccsd.Config {
+	switch s {
+	case NCCL:
+		cfg := mccsd.BaselineConfig()
+		cfg.Strategy = mccsd.RankOrderStrategy
+		return cfg
+	case NCCLOR:
+		cfg := mccsd.BaselineConfig()
+		cfg.Strategy = policy.OptimalRingStrategy(policy.RingStrategyOptions{PinRoutes: false})
+		return cfg
+	case MCCSNoFA:
+		cfg := mccsd.DefaultConfig()
+		cfg.Strategy = policy.OptimalRingStrategy(policy.RingStrategyOptions{PinRoutes: false})
+		return cfg
+	case MCCS:
+		cfg := mccsd.DefaultConfig()
+		cfg.Strategy = policy.OptimalRingStrategy(policy.RingStrategyOptions{PinRoutes: true})
+		return cfg
+	default:
+		panic("ncclsim: unknown system")
+	}
+}

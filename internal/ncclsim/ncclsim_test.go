@@ -1,0 +1,108 @@
+package ncclsim
+
+import (
+	"testing"
+
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+)
+
+func TestSystemNames(t *testing.T) {
+	want := map[System]string{
+		NCCL: "NCCL", NCCLOR: "NCCL(OR)", MCCSNoFA: "MCCS(-FA)", MCCS: "MCCS",
+	}
+	for sys, name := range want {
+		if sys.String() != name {
+			t.Errorf("%d.String() = %q, want %q", sys, sys.String(), name)
+		}
+	}
+	if System(99).String() != "Unknown" {
+		t.Error("unknown system name")
+	}
+	if len(Systems()) != 4 {
+		t.Error("Systems() should list all four")
+	}
+}
+
+func TestConfigPresets(t *testing.T) {
+	cluster, err := topo.BuildClos(topo.TestbedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An 8-GPU zigzag-rank communicator distinguishes the presets.
+	info := &spec.CommInfo{ID: 1, App: "x"}
+	hosts := []topo.HostID{0, 2, 1, 3}
+	rank := 0
+	for _, h := range hosts {
+		for _, g := range cluster.Hosts[h].GPUs {
+			info.Ranks = append(info.Ranks, spec.RankInfo{
+				Rank: rank, GPU: g, Host: h, NIC: cluster.NICOfGPU(g),
+			})
+			rank++
+		}
+	}
+
+	nccl := Config(NCCL)
+	if !nccl.Baseline {
+		t.Error("NCCL preset not baseline")
+	}
+	st := nccl.Strategy(cluster, info)
+	if st.Channels[0].Order[0] != 0 || st.Channels[0].Order[2] != 2 {
+		t.Errorf("NCCL ring not rank order: %v", st.Channels[0].Order)
+	}
+	if st.Channels[0].Route != spec.RouteECMP {
+		t.Error("NCCL should route by ECMP")
+	}
+
+	or := Config(NCCLOR)
+	if !or.Baseline {
+		t.Error("NCCL(OR) preset not baseline")
+	}
+	stOR := or.Strategy(cluster, info)
+	if stOR.Channels[0].Route != spec.RouteECMP {
+		t.Error("NCCL(OR) should still route by ECMP")
+	}
+
+	noFA := Config(MCCSNoFA)
+	if noFA.Baseline {
+		t.Error("MCCS(-FA) should be service mode")
+	}
+	if noFA.CmdLatency <= nccl.CmdLatency {
+		t.Error("service datapath latency should exceed library latency")
+	}
+	stNoFA := noFA.Strategy(cluster, info)
+	for _, ch := range stNoFA.Channels {
+		if ch.Route != spec.RouteECMP {
+			t.Error("MCCS(-FA) must not pin routes")
+		}
+	}
+
+	full := Config(MCCS)
+	stFull := full.Strategy(cluster, info)
+	seen := map[int]bool{}
+	for _, ch := range stFull.Channels {
+		if ch.Route == spec.RouteECMP {
+			t.Error("MCCS must pin routes")
+		}
+		seen[ch.Route] = true
+	}
+	if len(seen) != len(stFull.Channels) {
+		t.Errorf("MCCS channels should use distinct paths: %v", seen)
+	}
+	// OR-based presets produce locality rings: the first two positions
+	// share a host, and rack 0's hosts precede rack 1's.
+	order := stFull.Channels[0].Order
+	hostOf := func(r int) topo.HostID { return info.Ranks[r].Host }
+	if hostOf(order[0]) != hostOf(order[1]) {
+		t.Errorf("locality ring does not group host ranks: %v", order)
+	}
+}
+
+func TestUnknownSystemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown system did not panic")
+		}
+	}()
+	Config(System(42))
+}

@@ -1,0 +1,95 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"mccs/internal/sim"
+)
+
+// clos builds a 16x24 spine-leaf graph with h NIC endpoints per leaf for
+// allocator stress benches.
+func benchClos(nicsPerLeaf int) (*Network, []NodeID) {
+	n := NewNetwork()
+	var spines, leaves []NodeID
+	for i := 0; i < 16; i++ {
+		spines = append(spines, n.AddNode("s"))
+	}
+	var nics []NodeID
+	for l := 0; l < 24; l++ {
+		leaf := n.AddNode("l")
+		leaves = append(leaves, leaf)
+		for _, sp := range spines {
+			n.AddDuplex(leaf, sp, 200*gbps)
+		}
+		for k := 0; k < nicsPerLeaf; k++ {
+			nic := n.AddNode("n")
+			n.AddDuplex(nic, leaf, 200*gbps)
+			nics = append(nics, nic)
+		}
+	}
+	_ = leaves
+	return n, nics
+}
+
+// BenchmarkWaterfill measures one max-min reallocation with many active
+// cross-rack flows — the fabric's hot path.
+func BenchmarkWaterfill(b *testing.B) {
+	for _, nFlows := range []int{100, 500, 2000} {
+		b.Run(benchName(nFlows), func(b *testing.B) {
+			s := sim.New()
+			net, nics := benchClos(8)
+			fb := NewFabric(s, net)
+			rng := rand.New(rand.NewSource(1))
+			s.Go("setup", func(p *sim.Proc) {
+				for i := 0; i < nFlows; i++ {
+					src := nics[rng.Intn(len(nics))]
+					dst := nics[rng.Intn(len(nics))]
+					if src == dst {
+						continue
+					}
+					fb.StartFlow(FlowOpts{Src: src, Dst: dst, Bytes: 1e15, Label: uint64(i)})
+				}
+			})
+			if err := s.RunUntil(0); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fb.recompute()
+			}
+			b.ReportMetric(float64(fb.ActiveFlows()), "flows")
+		})
+	}
+}
+
+// BenchmarkFlowChurn measures start+finish cycles including timer
+// management.
+func BenchmarkFlowChurn(b *testing.B) {
+	s := sim.New()
+	net, nics := benchClos(4)
+	fb := NewFabric(s, net)
+	b.ResetTimer()
+	done := 0
+	s.GoDaemon("churn", func(p *sim.Proc) {
+		for {
+			fl := fb.StartFlow(FlowOpts{Src: nics[0], Dst: nics[50], Bytes: 1e6, Label: uint64(done)})
+			fl.Done().Wait(p)
+			done++
+		}
+	})
+	_ = s.RunUntil(sim.Time(time.Duration(b.N) * 45 * time.Microsecond))
+	b.ReportMetric(float64(done)/float64(b.N), "flows/op")
+}
+
+func benchName(n int) string {
+	switch n {
+	case 100:
+		return "flows=100"
+	case 500:
+		return "flows=500"
+	default:
+		return "flows=2000"
+	}
+}

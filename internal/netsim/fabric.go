@@ -1,0 +1,533 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mccs/internal/sim"
+)
+
+// completion tolerance, in bytes: a flow with this much or less remaining
+// is considered finished (guards against float rounding).
+const byteEps = 0.5
+
+// Group couples flows so that every member advances at the rate of the
+// slowest member. This models a pipelined ring-collective step: the ring
+// moves at the pace of its bottleneck edge.
+type Group struct {
+	id    int
+	flows map[*Flow]struct{}
+}
+
+// Flow is one active transfer on the fabric.
+type Flow struct {
+	ID       int
+	Src, Dst NodeID
+	Route    []LinkID
+	Label    uint64
+
+	bytes    float64 // total demand; +Inf for endless (background) flows
+	done     float64
+	rate     float64 // current allocated rate, bytes/sec
+	maxRate  float64 // 0 = uncapped
+	priority bool    // strict-priority flow, allocated before fair sharing
+	external bool    // traffic outside the service's management
+	group    *Group
+
+	doneEv   *sim.Event
+	onDone   []func()
+	finished bool
+	canceled bool
+}
+
+// OnDone registers a callback invoked (in scheduler context) when the flow
+// completes normally. Callbacks registered after completion run
+// immediately.
+func (f *Flow) OnDone(fn func()) {
+	if f.finished {
+		fn()
+		return
+	}
+	f.onDone = append(f.onDone, fn)
+}
+
+// Rate returns the currently allocated rate in bytes per second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Transferred returns the bytes delivered so far (as of the last fabric
+// update; call Fabric.Sync for an up-to-the-instant figure).
+func (f *Flow) Transferred() float64 { return f.done }
+
+// Done returns the completion event; it fires when the full byte demand has
+// been delivered (never, for endless flows, unless canceled).
+func (f *Flow) Done() *sim.Event { return f.doneEv }
+
+// Finished reports whether the flow completed normally.
+func (f *Flow) Finished() bool { return f.finished }
+
+// FlowOpts configures StartFlow.
+type FlowOpts struct {
+	Src, Dst NodeID
+	// Bytes is the transfer size; <= 0 means endless (a background flow
+	// that runs until canceled).
+	Bytes float64
+	// Route pins the flow to an explicit path. If nil, the fabric applies
+	// ECMP over the shortest paths using Label.
+	Route []LinkID
+	// Label distinguishes connections between the same endpoints for ECMP
+	// hashing (the 5-tuple port analogue).
+	Label uint64
+	// MaxRate caps the flow's rate in bytes/sec (0 = uncapped). The flow
+	// still competes fairly below the cap.
+	MaxRate float64
+	// FixedRate makes this a strict-priority flow: it is allocated
+	// min(FixedRate, capacity) before fair sharing, squeezing normal
+	// flows onto the residual. This models traffic outside the
+	// simulated service's control (the paper's 75 Gbps background flow).
+	FixedRate float64
+	// External marks traffic not managed by the collective service
+	// (background flows, other tenants' non-collective traffic). The
+	// fabric accounts it separately so a monitoring agent can detect
+	// "persistent large flows that are not managed by MCCS" (§6.2).
+	External bool
+	// Group, if non-nil, couples this flow's progress to the group's
+	// bottleneck member.
+	Group *Group
+}
+
+// Fabric is the dynamic state of the network: the set of active flows and
+// their max-min fair rates. All methods must be called from sim scheduler
+// context.
+type Fabric struct {
+	s   *sim.Scheduler
+	net *Network
+
+	flows      map[int]*Flow
+	nextFlowID int
+	nextGroup  int
+
+	lastUpdate sim.Time
+	timer      *sim.Timer
+
+	// linkRate[l] is the currently allocated aggregate rate on link l,
+	// maintained by recompute for monitoring queries; externalRate[l]
+	// is the portion from flows marked External.
+	linkRate     []float64
+	externalRate []float64
+
+	// Recomputes counts rate recomputations, for tests and perf sanity.
+	Recomputes int
+}
+
+// NewFabric creates a fabric over the given topology.
+func NewFabric(s *sim.Scheduler, net *Network) *Fabric {
+	return &Fabric{
+		s:            s,
+		net:          net,
+		flows:        make(map[int]*Flow),
+		linkRate:     make([]float64, net.NumLinks()),
+		externalRate: make([]float64, net.NumLinks()),
+	}
+}
+
+// Network returns the underlying static topology.
+func (fb *Fabric) Network() *Network { return fb.net }
+
+// NewGroup returns a fresh coflow group.
+func (fb *Fabric) NewGroup() *Group {
+	fb.nextGroup++
+	return &Group{id: fb.nextGroup, flows: make(map[*Flow]struct{})}
+}
+
+// StartFlow begins a transfer and returns its handle. The route is
+// validated; an invalid explicit route panics, as it indicates a programming
+// error in the routing layer.
+func (fb *Fabric) StartFlow(o FlowOpts) *Flow {
+	route := o.Route
+	if route == nil {
+		paths := fb.net.PathsBetween(o.Src, o.Dst)
+		if len(paths) == 0 {
+			panic(fmt.Sprintf("netsim: no path %s -> %s", fb.net.NodeName(o.Src), fb.net.NodeName(o.Dst)))
+		}
+		route = paths[ECMPIndex(o.Src, o.Dst, o.Label, len(paths))]
+	}
+	if err := fb.net.ValidateRoute(o.Src, o.Dst, route); err != nil {
+		panic(err)
+	}
+	if len(route) == 0 {
+		panic("netsim: zero-hop flow; intra-host transfers do not use the fabric")
+	}
+	bytes := o.Bytes
+	if bytes <= 0 {
+		bytes = math.Inf(1)
+	}
+	maxRate, priority := o.MaxRate, false
+	if o.FixedRate > 0 {
+		maxRate, priority = o.FixedRate, true
+	}
+	fb.nextFlowID++
+	fl := &Flow{
+		ID: fb.nextFlowID, Src: o.Src, Dst: o.Dst, Route: route, Label: o.Label,
+		bytes: bytes, maxRate: maxRate, priority: priority, external: o.External,
+		group:  o.Group,
+		doneEv: &sim.Event{},
+	}
+	if fl.group != nil {
+		fl.group.flows[fl] = struct{}{}
+	}
+	fb.progress()
+	fb.flows[fl.ID] = fl
+	fb.recompute()
+	return fl
+}
+
+// CancelFlow removes a flow before completion (its Done event does not
+// fire). Canceling a finished or already-canceled flow is a no-op.
+func (fb *Fabric) CancelFlow(fl *Flow) {
+	if fl.finished || fl.canceled {
+		return
+	}
+	fb.progress()
+	fl.canceled = true
+	fb.remove(fl)
+	fb.recompute()
+}
+
+func (fb *Fabric) remove(fl *Flow) {
+	delete(fb.flows, fl.ID)
+	if fl.group != nil {
+		delete(fl.group.flows, fl)
+	}
+}
+
+// Sync advances all flow byte counters to the current instant without
+// changing rates. Call before reading Transferred.
+func (fb *Fabric) Sync() { fb.progress() }
+
+// SetLinkCapacity changes a link's capacity at runtime (maintenance,
+// degradation, failure when set to ~0) and reallocates active flows.
+func (fb *Fabric) SetLinkCapacity(l LinkID, capacity float64) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	fb.progress()
+	fb.net.links[l].Capacity = capacity
+	fb.recompute()
+}
+
+// LinkRate returns the aggregate allocated rate on link l in bytes/sec.
+func (fb *Fabric) LinkRate(l LinkID) float64 { return fb.linkRate[l] }
+
+// ExternalRate returns the rate on link l from flows marked External —
+// the signal a provider's switch agent reports for traffic outside the
+// collective service's management.
+func (fb *Fabric) ExternalRate(l LinkID) float64 { return fb.externalRate[l] }
+
+// LinkUtilization returns allocated rate / capacity for link l.
+func (fb *Fabric) LinkUtilization(l LinkID) float64 {
+	c := fb.net.Link(l).Capacity
+	if c <= 0 {
+		return 0
+	}
+	return fb.linkRate[l] / c
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
+
+// progress advances byte counters to now at current rates.
+func (fb *Fabric) progress() {
+	now := fb.s.Now()
+	dt := now.Sub(fb.lastUpdate).Seconds()
+	fb.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for _, fl := range fb.flows {
+		fl.done += fl.rate * dt
+		if fl.done > fl.bytes {
+			fl.done = fl.bytes
+		}
+	}
+}
+
+// recompute reruns the max-min allocation and reschedules the next
+// completion timer. Callers must progress() first.
+func (fb *Fabric) recompute() {
+	fb.Recomputes++
+	fb.allocate()
+	fb.schedule()
+}
+
+// allocate computes max-min fair rates with group coupling and rate caps.
+//
+// The outer loop repeatedly water-fills, then freezes the group with the
+// smallest bottleneck rate at that rate (all members pinned to the group
+// minimum, modelling lock-step ring steps); it repeats until no unfrozen
+// groups remain, then takes the final fill for ungrouped flows. This is the
+// successive-bottleneck construction; it terminates after at most
+// #groups + 1 fills.
+func (fb *Fabric) allocate() {
+	for i := range fb.linkRate {
+		fb.linkRate[i] = 0
+		fb.externalRate[i] = 0
+	}
+	if len(fb.flows) == 0 {
+		return
+	}
+	frozen := make(map[*Flow]float64)
+	groupFrozen := make(map[*Group]bool)
+	// Strict-priority flows are allocated first (water-filled among
+	// themselves, each capped at its fixed rate) and then frozen, so fair
+	// sharing below only sees the residual capacity.
+	hasPriority := false
+	for _, fl := range fb.flows {
+		if fl.priority {
+			hasPriority = true
+			break
+		}
+	}
+	if hasPriority {
+		prio := fb.waterfill(frozen, func(fl *Flow) bool { return fl.priority })
+		for fl, r := range prio {
+			frozen[fl] = r
+		}
+	}
+	for {
+		rates := fb.waterfill(frozen, func(fl *Flow) bool { return true })
+		// Find the unfrozen group with the smallest member-minimum rate.
+		var pick *Group
+		pickMin := math.Inf(1)
+		for _, fl := range fb.flows {
+			g := fl.group
+			if g == nil || groupFrozen[g] || len(g.flows) == 0 {
+				continue
+			}
+			gmin := math.Inf(1)
+			for m := range g.flows {
+				if r := rates[m]; r < gmin {
+					gmin = r
+				}
+			}
+			if gmin < pickMin || (gmin == pickMin && pick != nil && g.id < pick.id) {
+				pickMin = gmin
+				pick = g
+			}
+		}
+		if pick == nil {
+			// Done: commit rates.
+			for _, fl := range fb.flows {
+				if r, ok := frozen[fl]; ok {
+					fl.rate = r
+				} else {
+					fl.rate = rates[fl]
+				}
+				for _, l := range fl.Route {
+					fb.linkRate[l] += fl.rate
+					if fl.external {
+						fb.externalRate[l] += fl.rate
+					}
+				}
+			}
+			return
+		}
+		groupFrozen[pick] = true
+		for m := range pick.flows {
+			frozen[m] = pickMin
+		}
+	}
+}
+
+// waterfill runs classic progressive filling over the non-frozen flows,
+// treating frozen flows as fixed background load. It returns the rate for
+// every non-frozen flow.
+func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) map[*Flow]float64 {
+	remCap := make([]float64, fb.net.NumLinks())
+	nActive := make([]int, fb.net.NumLinks())
+	touched := make([]LinkID, 0, 64)
+	mark := make([]bool, fb.net.NumLinks())
+
+	active := make([]*Flow, 0, len(fb.flows))
+	for _, fl := range fb.flows {
+		if _, ok := frozen[fl]; ok {
+			continue
+		}
+		if !include(fl) {
+			continue
+		}
+		active = append(active, fl)
+	}
+	// Deterministic order.
+	sortFlows(active)
+
+	for _, l := range fb.net.links {
+		remCap[l.ID] = l.Capacity
+	}
+	for fl, r := range frozen {
+		for _, l := range fl.Route {
+			remCap[l] -= r
+			if remCap[l] < 0 {
+				remCap[l] = 0
+			}
+		}
+	}
+	for _, fl := range active {
+		for _, l := range fl.Route {
+			nActive[l]++
+			if !mark[l] {
+				mark[l] = true
+				touched = append(touched, l)
+			}
+		}
+	}
+
+	rates := make(map[*Flow]float64, len(active))
+	level := make(map[*Flow]float64, len(active))
+	frozenHere := make(map[*Flow]bool, len(active))
+	remaining := len(active)
+
+	for remaining > 0 {
+		// Smallest headroom-per-flow across loaded links, and the
+		// smallest gap to a flow's rate cap.
+		inc := math.Inf(1)
+		for _, l := range touched {
+			if nActive[l] > 0 {
+				if h := remCap[l] / float64(nActive[l]); h < inc {
+					inc = h
+				}
+			}
+		}
+		for _, fl := range active {
+			if frozenHere[fl] || fl.maxRate <= 0 {
+				continue
+			}
+			if gap := fl.maxRate - level[fl]; gap < inc {
+				inc = gap
+			}
+		}
+		if math.IsInf(inc, 1) {
+			// No constraining link or cap: should not happen since every
+			// route has at least one finite link; guard anyway.
+			for _, fl := range active {
+				if !frozenHere[fl] {
+					rates[fl] = level[fl]
+				}
+			}
+			break
+		}
+		if inc < 0 {
+			inc = 0
+		}
+		for _, fl := range active {
+			if !frozenHere[fl] {
+				level[fl] += inc
+			}
+		}
+		for _, l := range touched {
+			remCap[l] -= inc * float64(nActive[l])
+			if remCap[l] < 0 {
+				remCap[l] = 0
+			}
+		}
+		// Freeze flows on saturated links and flows at their caps.
+		capEps := 1e-6 // bytes/sec; far below any real link scale
+		for _, fl := range active {
+			if frozenHere[fl] {
+				continue
+			}
+			stop := fl.maxRate > 0 && level[fl] >= fl.maxRate-capEps
+			if !stop {
+				for _, l := range fl.Route {
+					if remCap[l] <= capEps {
+						stop = true
+						break
+					}
+				}
+			}
+			if stop {
+				frozenHere[fl] = true
+				rates[fl] = level[fl]
+				remaining--
+				for _, l := range fl.Route {
+					nActive[l]--
+				}
+			}
+		}
+	}
+	return rates
+}
+
+func sortFlows(fs []*Flow) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].ID < fs[j-1].ID; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// schedule arms the completion timer for the earliest-finishing flow.
+func (fb *Fabric) schedule() {
+	if fb.timer != nil {
+		fb.timer.Stop()
+		fb.timer = nil
+	}
+	next := math.Inf(1)
+	for _, fl := range fb.flows {
+		if fl.rate <= 0 || math.IsInf(fl.bytes, 1) {
+			continue
+		}
+		rem := fl.bytes - fl.done
+		if rem <= byteEps {
+			next = 0
+			break
+		}
+		if t := rem / fl.rate; t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	// Clamp absurd horizons (a near-zero rate) so the Duration conversion
+	// cannot overflow; the timer will re-arm on the next fabric change.
+	const maxHorizonSec = 1e9
+	if next > maxHorizonSec {
+		next = maxHorizonSec
+	}
+	d := time.Duration(next * float64(time.Second))
+	// Never arm a zero-duration timer: with sub-nanosecond residues the
+	// clock would not advance, no bytes would move, and the timer would
+	// re-arm forever. One nanosecond of progress always clears residues.
+	if d < time.Nanosecond {
+		d = time.Nanosecond
+	}
+	fb.timer = fb.s.After(d, fb.onTimer)
+}
+
+func (fb *Fabric) onTimer() {
+	fb.timer = nil
+	fb.progress()
+	var completed []*Flow
+	for _, fl := range fb.flows {
+		if !math.IsInf(fl.bytes, 1) && fl.bytes-fl.done <= byteEps {
+			completed = append(completed, fl)
+		}
+	}
+	sortFlows(completed)
+	for _, fl := range completed {
+		fl.done = fl.bytes
+		fl.finished = true
+		fb.remove(fl)
+	}
+	fb.recompute()
+	// Signal after rates are consistent so that completion handlers that
+	// immediately start new flows observe a clean fabric.
+	for _, fl := range completed {
+		fl.doneEv.Signal(fb.s)
+		for _, fn := range fl.onDone {
+			fn()
+		}
+		fl.onDone = nil
+	}
+}

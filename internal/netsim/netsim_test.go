@@ -1,0 +1,499 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mccs/internal/sim"
+)
+
+const gbps = 125e6 // 1 Gbit/s in bytes/sec
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// lineNet builds a -> b -> c with the given capacities.
+func lineNet(capAB, capBC float64) (*Network, NodeID, NodeID, NodeID) {
+	n := NewNetwork()
+	a, b, c := n.AddNode("a"), n.AddNode("b"), n.AddNode("c")
+	n.AddDuplex(a, b, capAB)
+	n.AddDuplex(b, c, capBC)
+	return n, a, b, c
+}
+
+// diamondNet builds src -> {s1,s2} -> dst, every link at cap.
+func diamondNet(cap float64) (*Network, NodeID, NodeID) {
+	n := NewNetwork()
+	src, s1, s2, dst := n.AddNode("src"), n.AddNode("s1"), n.AddNode("s2"), n.AddNode("dst")
+	n.AddDuplex(src, s1, cap)
+	n.AddDuplex(src, s2, cap)
+	n.AddDuplex(s1, dst, cap)
+	n.AddDuplex(s2, dst, cap)
+	return n, src, dst
+}
+
+func TestSingleFlowCompletionTime(t *testing.T) {
+	s := sim.New()
+	n, a, _, c := lineNet(100*gbps, 100*gbps)
+	fb := NewFabric(s, n)
+	var doneAt sim.Time
+	s.Go("app", func(p *sim.Proc) {
+		fl := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 125e6}) // 125 MB at 12.5 GB/s = 10 ms
+		if got := fl.Rate(); !almostEq(got, 100*gbps, 1) {
+			t.Errorf("rate = %g, want %g", got, 100*gbps)
+		}
+		fl.Done().Wait(p)
+		doneAt = p.Now()
+		if !fl.Finished() {
+			t.Error("flow not marked finished")
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(10 * time.Millisecond)
+	if d := doneAt.Sub(want); d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("completion at %v, want ~%v", doneAt, want)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	s := sim.New()
+	n, a, _, c := lineNet(100*gbps, 100*gbps)
+	fb := NewFabric(s, n)
+	var f1, f2 *Flow
+	s.Go("app", func(p *sim.Proc) {
+		f1 = fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e9})
+		f2 = fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e9})
+		if !almostEq(f1.Rate(), 50*gbps, 1) || !almostEq(f2.Rate(), 50*gbps, 1) {
+			t.Errorf("rates = %g, %g, want %g each", f1.Rate(), f2.Rate(), 50*gbps)
+		}
+		f1.Done().Wait(p)
+		f2.Done().Wait(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowFinishReallocatesBandwidth(t *testing.T) {
+	s := sim.New()
+	n, a, _, c := lineNet(100*gbps, 100*gbps)
+	fb := NewFabric(s, n)
+	var shortDone, longDone sim.Time
+	s.Go("app", func(p *sim.Proc) {
+		short := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 62.5e6}) // 62.5 MB
+		long := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 187.5e6}) // 187.5 MB
+		short.Done().Wait(p)
+		shortDone = p.Now()
+		long.Done().Wait(p)
+		longDone = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both at 6.25 GB/s: short (62.5 MB) finishes at 10 ms with long at
+	// 62.5 MB done; long's remaining 125 MB then runs at 12.5 GB/s for
+	// another 10 ms => 20 ms total.
+	if d := shortDone.Sub(sim.Time(10 * time.Millisecond)); math.Abs(d.Seconds()) > 1e-5 {
+		t.Errorf("short done at %v, want 10ms", shortDone)
+	}
+	if d := longDone.Sub(sim.Time(20 * time.Millisecond)); math.Abs(d.Seconds()) > 1e-5 {
+		t.Errorf("long done at %v, want 20ms", longDone)
+	}
+}
+
+func TestMaxMinUnequalBottlenecks(t *testing.T) {
+	// a->b at 100G shared by two flows; one continues b->c at 30G.
+	// Max-min: constrained flow gets 30G, the other gets 70G.
+	s := sim.New()
+	n, a, b, c := lineNet(100*gbps, 30*gbps)
+	fb := NewFabric(s, n)
+	s.Go("app", func(p *sim.Proc) {
+		f1 := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e9})
+		f2 := fb.StartFlow(FlowOpts{Src: a, Dst: b, Bytes: 1e9})
+		if !almostEq(f1.Rate(), 30*gbps, 1) {
+			t.Errorf("bottlenecked flow rate = %g, want %g", f1.Rate(), 30*gbps)
+		}
+		if !almostEq(f2.Rate(), 70*gbps, 1) {
+			t.Errorf("free flow rate = %g, want %g", f2.Rate(), 70*gbps)
+		}
+		fb.CancelFlow(f1)
+		fb.CancelFlow(f2)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRateCapFairShare(t *testing.T) {
+	// A fair-share cap only binds above the fair share: a 75G-capped flow
+	// and an uncapped flow on a 100G link still split 50/50, while a
+	// 30G-capped flow frees capacity for the other.
+	s := sim.New()
+	n, a, _, c := lineNet(100*gbps, 100*gbps)
+	fb := NewFabric(s, n)
+	s.Go("app", func(p *sim.Proc) {
+		f1 := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e12, MaxRate: 75 * gbps})
+		f2 := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e12})
+		if !almostEq(f1.Rate(), 50*gbps, 1e3) || !almostEq(f2.Rate(), 50*gbps, 1e3) {
+			t.Errorf("rates = %g, %g, want 50/50", f1.Rate(), f2.Rate())
+		}
+		f3 := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e12, MaxRate: 10 * gbps})
+		if !almostEq(f3.Rate(), 10*gbps, 1e3) {
+			t.Errorf("capped rate = %g, want %g", f3.Rate(), 10*gbps)
+		}
+		if !almostEq(f1.Rate(), 45*gbps, 1e3) || !almostEq(f2.Rate(), 45*gbps, 1e3) {
+			t.Errorf("rates = %g, %g, want 45/45 around 10G cap", f1.Rate(), f2.Rate())
+		}
+		for _, fl := range []*Flow{f1, f2, f3} {
+			fb.CancelFlow(fl)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedRatePriorityFlow(t *testing.T) {
+	// A 75 Gbps strict-priority background flow on a 100G link leaves 25G
+	// for a second flow — the Fig. 7 scenario.
+	s := sim.New()
+	n, a, _, c := lineNet(100*gbps, 100*gbps)
+	fb := NewFabric(s, n)
+	s.Go("app", func(p *sim.Proc) {
+		bg := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 0, FixedRate: 75 * gbps}) // endless
+		fg := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e9})
+		if !almostEq(bg.Rate(), 75*gbps, 1e3) {
+			t.Errorf("bg rate = %g, want %g", bg.Rate(), 75*gbps)
+		}
+		if !almostEq(fg.Rate(), 25*gbps, 1e3) {
+			t.Errorf("fg rate = %g, want %g", fg.Rate(), 25*gbps)
+		}
+		fb.CancelFlow(bg)
+		if !almostEq(fg.Rate(), 100*gbps, 1e3) {
+			t.Errorf("fg rate after bg cancel = %g, want %g", fg.Rate(), 100*gbps)
+		}
+		fg.Done().Wait(p)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupCoupling(t *testing.T) {
+	// Two flows in one group; one crosses a 30G bottleneck. Both must run
+	// at 30G (ring lock-step), not 30/100.
+	s := sim.New()
+	n, a, b, c := lineNet(100*gbps, 30*gbps)
+	fb := NewFabric(s, n)
+	s.Go("app", func(p *sim.Proc) {
+		g := fb.NewGroup()
+		f1 := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e9, Group: g})
+		f2 := fb.StartFlow(FlowOpts{Src: a, Dst: b, Bytes: 1e9, Group: g})
+		if !almostEq(f1.Rate(), 30*gbps, 1) || !almostEq(f2.Rate(), 30*gbps, 1) {
+			t.Errorf("group rates = %g, %g, want both %g", f1.Rate(), f2.Rate(), 30*gbps)
+		}
+		fb.CancelFlow(f1)
+		fb.CancelFlow(f2)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoGroupsSuccessiveBottleneck(t *testing.T) {
+	// Group A spans the 30G link; group B only uses the 100G link.
+	// A freezes at 30G; B then gets the remaining 70G.
+	s := sim.New()
+	n, a, b, c := lineNet(100*gbps, 30*gbps)
+	fb := NewFabric(s, n)
+	s.Go("app", func(p *sim.Proc) {
+		ga, gb := fb.NewGroup(), fb.NewGroup()
+		fa := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e9, Group: ga})
+		fbf := fb.StartFlow(FlowOpts{Src: a, Dst: b, Bytes: 1e9, Group: gb})
+		if !almostEq(fa.Rate(), 30*gbps, 1) {
+			t.Errorf("group A rate = %g, want %g", fa.Rate(), 30*gbps)
+		}
+		if !almostEq(fbf.Rate(), 70*gbps, 1) {
+			t.Errorf("group B rate = %g, want %g", fbf.Rate(), 70*gbps)
+		}
+		fb.CancelFlow(fa)
+		fb.CancelFlow(fbf)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiamondPathsAndECMP(t *testing.T) {
+	n, src, dst := diamondNet(100 * gbps)
+	paths := n.PathsBetween(src, dst)
+	if len(paths) != 2 {
+		t.Fatalf("got %d shortest paths, want 2", len(paths))
+	}
+	for _, pth := range paths {
+		if len(pth) != 2 {
+			t.Errorf("path length %d, want 2 hops", len(pth))
+		}
+		if err := n.ValidateRoute(src, dst, pth); err != nil {
+			t.Errorf("enumerated path invalid: %v", err)
+		}
+	}
+	// ECMP must be deterministic and must spread labels across both paths.
+	seen := map[int]int{}
+	for label := uint64(0); label < 64; label++ {
+		i := ECMPIndex(src, dst, label, 2)
+		if j := ECMPIndex(src, dst, label, 2); i != j {
+			t.Fatal("ECMPIndex not deterministic")
+		}
+		seen[i]++
+	}
+	if seen[0] == 0 || seen[1] == 0 {
+		t.Errorf("ECMP never used one path: %v", seen)
+	}
+}
+
+func TestExplicitRoutePinning(t *testing.T) {
+	s := sim.New()
+	n, src, dst := diamondNet(100 * gbps)
+	fb := NewFabric(s, n)
+	paths := n.PathsBetween(src, dst)
+	s.Go("app", func(p *sim.Proc) {
+		// Pin both flows to different paths: each gets full capacity.
+		f1 := fb.StartFlow(FlowOpts{Src: src, Dst: dst, Bytes: 1e9, Route: paths[0]})
+		f2 := fb.StartFlow(FlowOpts{Src: src, Dst: dst, Bytes: 1e9, Route: paths[1]})
+		if !almostEq(f1.Rate(), 100*gbps, 1) || !almostEq(f2.Rate(), 100*gbps, 1) {
+			t.Errorf("pinned rates = %g, %g, want full capacity", f1.Rate(), f2.Rate())
+		}
+		// Pin both to the same path: they halve.
+		f3 := fb.StartFlow(FlowOpts{Src: src, Dst: dst, Bytes: 1e9, Route: paths[0]})
+		if !almostEq(f1.Rate(), 50*gbps, 1) || !almostEq(f3.Rate(), 50*gbps, 1) {
+			t.Errorf("collided rates = %g, %g, want halved", f1.Rate(), f3.Rate())
+		}
+		for _, fl := range []*Flow{f1, f2, f3} {
+			fb.CancelFlow(fl)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRouteErrors(t *testing.T) {
+	n, src, dst := diamondNet(100 * gbps)
+	if err := n.ValidateRoute(src, dst, nil); err == nil {
+		t.Error("empty route to different node accepted")
+	}
+	if err := n.ValidateRoute(src, src, nil); err != nil {
+		t.Errorf("empty route to self rejected: %v", err)
+	}
+	paths := n.PathsBetween(src, dst)
+	bad := append([]LinkID(nil), paths[0]...)
+	bad[0], bad[1] = bad[1], bad[0]
+	if err := n.ValidateRoute(src, dst, bad); err == nil {
+		t.Error("disconnected route accepted")
+	}
+	if err := n.ValidateRoute(src, dst, paths[0][:1]); err == nil {
+		t.Error("truncated route accepted")
+	}
+}
+
+func TestTransferredAndSync(t *testing.T) {
+	s := sim.New()
+	n, a, _, c := lineNet(100*gbps, 100*gbps)
+	fb := NewFabric(s, n)
+	s.Go("app", func(p *sim.Proc) {
+		fl := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e9})
+		p.Sleep(10 * time.Millisecond)
+		fb.Sync()
+		want := 100 * gbps * 0.010
+		if !almostEq(fl.Transferred(), want, want*1e-6) {
+			t.Errorf("transferred = %g, want %g", fl.Transferred(), want)
+		}
+		fb.CancelFlow(fl)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkRateAccounting(t *testing.T) {
+	s := sim.New()
+	n, a, _, c := lineNet(100*gbps, 100*gbps)
+	fb := NewFabric(s, n)
+	s.Go("app", func(p *sim.Proc) {
+		fl := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e9})
+		var loaded int
+		for i := 0; i < n.NumLinks(); i++ {
+			u := fb.LinkUtilization(LinkID(i))
+			if u > 0.999 {
+				loaded++
+			}
+		}
+		if loaded != 2 {
+			t.Errorf("loaded links = %d, want 2 (a->b, b->c)", loaded)
+		}
+		fb.CancelFlow(fl)
+		for i := 0; i < n.NumLinks(); i++ {
+			if fb.LinkRate(LinkID(i)) != 0 {
+				t.Errorf("link %d rate nonzero after cancel", i)
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random flow sets on a diamond, the allocation never
+// oversubscribes a link, and every uncapped flow is bottlenecked somewhere
+// (max-min work conservation).
+func TestQuickMaxMinInvariants(t *testing.T) {
+	f := func(seed int64, nf uint8) bool {
+		nFlows := int(nf%12) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New()
+		n, src, dst := diamondNet(100 * gbps)
+		fb := NewFabric(s, n)
+		ok := true
+		s.Go("app", func(p *sim.Proc) {
+			var flows []*Flow
+			for i := 0; i < nFlows; i++ {
+				o := FlowOpts{Src: src, Dst: dst, Bytes: 1e12, Label: rng.Uint64()}
+				if rng.Intn(3) == 0 {
+					o.MaxRate = (1 + 50*rng.Float64()) * gbps
+				}
+				flows = append(flows, fb.StartFlow(o))
+			}
+			// No oversubscription.
+			for i := 0; i < n.NumLinks(); i++ {
+				if fb.LinkUtilization(LinkID(i)) > 1+1e-9 {
+					ok = false
+				}
+			}
+			// Work conservation: every flow is either at its cap or
+			// crosses a saturated link.
+			for _, fl := range flows {
+				if fl.maxRate > 0 && almostEq(fl.Rate(), fl.maxRate, 1) {
+					continue
+				}
+				saturated := false
+				for _, l := range fl.Route {
+					if fb.LinkUtilization(l) > 1-1e-6 {
+						saturated = true
+						break
+					}
+				}
+				if !saturated {
+					ok = false
+				}
+			}
+			for _, fl := range flows {
+				fb.CancelFlow(fl)
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total delivered bytes equal demand for every completed flow,
+// regardless of arrival jitter.
+func TestQuickByteConservation(t *testing.T) {
+	f := func(seed int64, nf uint8) bool {
+		nFlows := int(nf%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New()
+		n, a, _, c := lineNet(100*gbps, 50*gbps)
+		fb := NewFabric(s, n)
+		good := true
+		s.Go("app", func(p *sim.Proc) {
+			var flows []*Flow
+			var sizes []float64
+			for i := 0; i < nFlows; i++ {
+				p.Sleep(time.Duration(rng.Intn(1000)) * time.Microsecond)
+				size := float64(1+rng.Intn(100)) * 1e6
+				sizes = append(sizes, size)
+				flows = append(flows, fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: size, Label: uint64(i)}))
+			}
+			for i, fl := range flows {
+				fl.Done().Wait(p)
+				if !almostEq(fl.Transferred(), sizes[i], 1) {
+					good = false
+				}
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return good && fb.ActiveFlows() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetLinkCapacity(t *testing.T) {
+	s := sim.New()
+	n, a, _, c := lineNet(100*gbps, 100*gbps)
+	fb := NewFabric(s, n)
+	s.Go("app", func(p *sim.Proc) {
+		fl := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e12})
+		if !almostEq(fl.Rate(), 100*gbps, 1) {
+			t.Errorf("initial rate = %g", fl.Rate())
+		}
+		// Degrade the first link to 10G: the flow re-rates immediately.
+		fb.SetLinkCapacity(LinkID(0), 10*gbps)
+		if !almostEq(fl.Rate(), 10*gbps, 1) {
+			t.Errorf("degraded rate = %g, want %g", fl.Rate(), 10*gbps)
+		}
+		// Restore.
+		fb.SetLinkCapacity(LinkID(0), 100*gbps)
+		if !almostEq(fl.Rate(), 100*gbps, 1) {
+			t.Errorf("restored rate = %g", fl.Rate())
+		}
+		fb.CancelFlow(fl)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExternalRateAccounting(t *testing.T) {
+	s := sim.New()
+	n, a, _, c := lineNet(100*gbps, 100*gbps)
+	fb := NewFabric(s, n)
+	s.Go("app", func(p *sim.Proc) {
+		managed := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 1e12})
+		ext := fb.StartFlow(FlowOpts{Src: a, Dst: c, Bytes: 0, FixedRate: 30 * gbps, External: true})
+		_ = managed
+		for i := 0; i < n.NumLinks(); i++ {
+			l := LinkID(i)
+			if fb.LinkRate(l) > 0 {
+				if !almostEq(fb.ExternalRate(l), 30*gbps, 1e3) {
+					t.Errorf("link %d external rate = %g, want %g", i, fb.ExternalRate(l), 30*gbps)
+				}
+			} else if fb.ExternalRate(l) != 0 {
+				t.Errorf("idle link %d has external rate", i)
+			}
+		}
+		fb.CancelFlow(ext)
+		for i := 0; i < n.NumLinks(); i++ {
+			if fb.ExternalRate(LinkID(i)) != 0 {
+				t.Errorf("external rate sticks after cancel")
+			}
+		}
+		fb.CancelFlow(managed)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

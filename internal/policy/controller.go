@@ -1,0 +1,107 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+
+	"mccs/internal/mccsd"
+	"mccs/internal/spec"
+)
+
+// Controller is the external centralized manager of paper §4.3: it
+// consumes the deployment's management view and pushes policy decisions
+// back through the management API. It holds no mechanism of its own.
+type Controller struct {
+	dep *mccsd.Deployment
+	// ReservedRoutes are the path indices PFA dedicates to prioritized
+	// applications.
+	ReservedRoutes []int
+	// PrioThreshold is the priority at or above which an app counts as
+	// prioritized for PFA.
+	PrioThreshold int
+	// TSGuard pads TS busy windows against jitter.
+	TSGuard time.Duration
+}
+
+// NewController attaches a controller to a deployment.
+func NewController(dep *mccsd.Deployment) *Controller {
+	return &Controller{
+		dep:            dep,
+		ReservedRoutes: []int{0},
+		PrioThreshold:  1,
+		TSGuard:        200 * time.Microsecond,
+	}
+}
+
+// ApplyFFA computes fair flow assignment over all active communicators
+// and pushes the route pins.
+func (c *Controller) ApplyFFA() error {
+	view := c.dep.View()
+	a := FFA(c.dep.Cluster, view)
+	return c.push(a)
+}
+
+// ApplyPFA computes priority flow assignment and pushes the route pins.
+func (c *Controller) ApplyPFA() error {
+	view := c.dep.View()
+	a := PFA(c.dep.Cluster, view, c.ReservedRoutes, c.PrioThreshold)
+	return c.push(a)
+}
+
+func (c *Controller) push(a Assignment) error {
+	for comm, routes := range a {
+		if err := c.dep.UpdateRoutes(comm, routes); err != nil {
+			return fmt.Errorf("policy: pushing routes to comm %d: %w", comm, err)
+		}
+	}
+	return nil
+}
+
+// ApplyTS traces the prioritized communicator, computes the complementary
+// time-window schedule, and installs it for every *other* application.
+// rank selects whose trace to analyze (collective timing is symmetric
+// across ranks, so rank 0 is customary).
+func (c *Controller) ApplyTS(prioritized spec.CommID, rank int) error {
+	var prioApp spec.AppID
+	var victims []spec.AppID
+	seen := make(map[spec.AppID]bool)
+	for _, ci := range c.dep.View() {
+		if ci.ID == prioritized {
+			prioApp = ci.App
+		}
+	}
+	for _, ci := range c.dep.View() {
+		if ci.App != prioApp && !seen[ci.App] {
+			seen[ci.App] = true
+			victims = append(victims, ci.App)
+		}
+	}
+	return c.ApplyTSFor(prioritized, rank, victims)
+}
+
+// ApplyTSFor is ApplyTS restricted to an explicit victim set — the paper's
+// PFA+TS scenario schedules only tenant C around tenant B's busy windows,
+// leaving the PFA-protected tenant A untouched.
+func (c *Controller) ApplyTSFor(prioritized spec.CommID, rank int, victims []spec.AppID) error {
+	trace, err := c.dep.CommTrace(prioritized, rank)
+	if err != nil {
+		return err
+	}
+	sched, err := ComputeTS(trace, c.TSGuard)
+	if err != nil {
+		return err
+	}
+	for _, app := range victims {
+		if err := c.dep.SetTrafficSchedule(app, sched); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClearTS removes traffic schedules from every application.
+func (c *Controller) ClearTS() {
+	for _, ci := range c.dep.View() {
+		c.dep.ClearTrafficSchedule(ci.App)
+	}
+}

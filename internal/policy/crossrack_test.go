@@ -1,0 +1,70 @@
+package policy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCrossRackSweepShape(t *testing.T) {
+	// Fig. 3a: 8 GPUs/host, 2 hosts/rack — ratio grows with job size and
+	// is bounded by 2 (every host boundary crosses at worst).
+	sizes := []int{16, 32, 64, 128, 256, 512, 1024}
+	pts := CrossRackSweep(8, 2, sizes, 400, 1)
+	if len(pts) != len(sizes) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Mean < 1-1e-9 || pt.Mean > 2+1e-9 {
+			t.Errorf("size %d: mean ratio %.3f outside [1,2]", pt.JobGPUs, pt.Mean)
+		}
+		if pt.Worst > 2+1e-9 {
+			t.Errorf("size %d: worst ratio %.3f above 2", pt.JobGPUs, pt.Worst)
+		}
+		if i > 0 && pt.Mean+0.05 < pts[i-1].Mean {
+			t.Errorf("mean ratio not (weakly) growing: %v", pts)
+		}
+		// Monte Carlo agrees with the closed form.
+		if math.Abs(pt.Mean-pt.Analytic) > 0.12 {
+			t.Errorf("size %d: MC %.3f vs analytic %.3f", pt.JobGPUs, pt.Mean, pt.Analytic)
+		}
+	}
+	// Large jobs approach the 2x bound (paper Fig. 3a).
+	last := pts[len(pts)-1]
+	if last.Mean < 1.8 {
+		t.Errorf("1024-GPU mean ratio %.3f, want near 2", last.Mean)
+	}
+
+	// Fig. 3b: 4 hosts/rack — bound becomes 4.
+	pts4 := CrossRackSweep(8, 4, []int{1024}, 400, 1)
+	if pts4[0].Mean < 3.3 || pts4[0].Mean > 4+1e-9 {
+		t.Errorf("4 hosts/rack 1024-GPU mean ratio %.3f, want approaching 4", pts4[0].Mean)
+	}
+}
+
+func TestCrossRackSingleRackIsOne(t *testing.T) {
+	pts := CrossRackSweep(8, 2, []int{8, 16}, 50, 1)
+	for _, pt := range pts {
+		if pt.Mean != 1 || pt.Worst != 1 || pt.Analytic != 1 {
+			t.Errorf("size %d within one rack: %+v, want all 1", pt.JobGPUs, pt)
+		}
+	}
+}
+
+// Property: the Monte Carlo ratio never exceeds hostsPerRack (the
+// theoretical worst case the paper quotes) and never drops below 1.
+func TestQuickCrossRackBounds(t *testing.T) {
+	f := func(seed int64, kRaw, sizeRaw uint8) bool {
+		k := int(kRaw%4) + 1
+		hosts := (int(sizeRaw%16) + 2) * k // whole racks
+		pts := CrossRackSweep(8, k, []int{hosts * 8}, 60, seed)
+		pt := pts[0]
+		if pt.Mean < 1-1e-9 || pt.Worst > float64(k)+1e-9 {
+			return false
+		}
+		return pt.Analytic <= float64(k)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

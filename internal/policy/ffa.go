@@ -1,0 +1,191 @@
+package policy
+
+import (
+	"sort"
+
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+)
+
+// Flow is one directed inter-host connection extracted from a
+// communicator's strategy — the unit FFA/PFA assign routes to.
+type Flow struct {
+	App     spec.AppID
+	Comm    spec.CommID
+	Key     spec.ConnKey
+	SrcNIC  topo.NICID
+	DstNIC  topo.NICID
+	Demand  float64 // bytes/sec the flow would like (its NIC rate)
+	nPaths  int
+	paths   [][]pathLink
+	prioApp bool
+}
+
+type pathLink = int // netsim.LinkID as int to keep the hot loop simple
+
+// ExtractFlows enumerates the inter-host connections of the given
+// communicators: for every channel, each consecutive ring pair on
+// different hosts in both directions (rings are used forward by most
+// collectives and backward by rooted reduces).
+func ExtractFlows(cluster *topo.Cluster, comms []spec.CommInfo) []Flow {
+	var flows []Flow
+	for _, ci := range comms {
+		n := ci.NumRanks()
+		for chIdx, ch := range ci.Strategy.Channels {
+			for pos := 0; pos < n; pos++ {
+				from := ch.Order[pos]
+				to := ch.Order[(pos+1)%n]
+				if from == to {
+					continue
+				}
+				fi, ti := ci.Ranks[from], ci.Ranks[to]
+				if fi.Host == ti.Host {
+					continue
+				}
+				paths := cluster.PathsBetweenNICs(fi.NIC, ti.NIC)
+				pl := make([][]pathLink, len(paths))
+				for i, p := range paths {
+					for _, l := range p {
+						pl[i] = append(pl[i], int(l))
+					}
+				}
+				flows = append(flows, Flow{
+					App: ci.App, Comm: ci.ID,
+					Key:    spec.ConnKey{Channel: chIdx, FromRank: from, ToRank: to},
+					SrcNIC: fi.NIC, DstNIC: ti.NIC,
+					Demand: cluster.NICs[fi.NIC].Rate,
+					nPaths: len(paths), paths: pl,
+				})
+			}
+		}
+	}
+	return flows
+}
+
+// Assignment is a policy's routing decision: per communicator, per
+// connection, the equal-cost path index to pin.
+type Assignment map[spec.CommID]map[spec.ConnKey]int
+
+func (a Assignment) set(comm spec.CommID, key spec.ConnKey, route int) {
+	m, ok := a[comm]
+	if !ok {
+		m = make(map[spec.ConnKey]int)
+		a[comm] = m
+	}
+	m[key] = route
+}
+
+// FFA implements best-fit fair flow assignment (paper example #2): a
+// Hedera-style greedy that places each flow on the path with the least
+// accumulated demand, round-robining between applications so no tenant
+// systematically gets the leftovers.
+func FFA(cluster *topo.Cluster, comms []spec.CommInfo) Assignment {
+	flows := ExtractFlows(cluster, comms)
+	return assign(cluster, flows, nil)
+}
+
+// PFA implements priority flow assignment (paper example #3): some routes
+// (path indices) are reserved for applications at or above prioThreshold.
+// Low-priority flows are fitted first using only non-reserved routes; then
+// high-priority flows pick the best among all routes.
+func PFA(cluster *topo.Cluster, comms []spec.CommInfo, reservedRoutes []int, prioThreshold int) Assignment {
+	prioApps := make(map[spec.AppID]bool)
+	for _, ci := range comms {
+		if ci.Priority >= prioThreshold {
+			prioApps[ci.App] = true
+		}
+	}
+	flows := ExtractFlows(cluster, comms)
+	var low, high []Flow
+	for _, f := range flows {
+		if prioApps[f.App] {
+			f.prioApp = true
+			high = append(high, f)
+		} else {
+			low = append(low, f)
+		}
+	}
+	reserved := make(map[int]bool)
+	for _, r := range reservedRoutes {
+		reserved[r] = true
+	}
+	load := make(map[int]float64) // link -> accumulated demand
+	a := make(Assignment)
+	// Low-priority first, restricted to non-reserved routes; then
+	// high-priority with free choice (they see low-priority load and
+	// will prefer the clean reserved paths).
+	assignInto(a, interleaveByApp(low), load, func(route int) bool { return !reserved[route] })
+	assignInto(a, interleaveByApp(high), load, nil)
+	return a
+}
+
+// assign places flows (interleaved across apps) onto paths.
+func assign(cluster *topo.Cluster, flows []Flow, allowed func(route int) bool) Assignment {
+	a := make(Assignment)
+	load := make(map[int]float64)
+	assignInto(a, interleaveByApp(flows), load, allowed)
+	return a
+}
+
+// interleaveByApp round-robins flows across applications for fairness
+// (the paper: "We round-robin between flows from different jobs").
+func interleaveByApp(flows []Flow) []Flow {
+	byApp := make(map[spec.AppID][]Flow)
+	var apps []spec.AppID
+	for _, f := range flows {
+		if _, ok := byApp[f.App]; !ok {
+			apps = append(apps, f.App)
+		}
+		byApp[f.App] = append(byApp[f.App], f)
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+	var out []Flow
+	for {
+		progress := false
+		for _, app := range apps {
+			if len(byApp[app]) > 0 {
+				out = append(out, byApp[app][0])
+				byApp[app] = byApp[app][1:]
+				progress = true
+			}
+		}
+		if !progress {
+			return out
+		}
+	}
+}
+
+// assignInto performs the best-fit step: each flow goes to the allowed
+// path whose most-loaded link has the least accumulated demand after
+// adding the flow (minimal excess bandwidth demand).
+func assignInto(a Assignment, flows []Flow, load map[int]float64, allowed func(route int) bool) {
+	for _, f := range flows {
+		if f.nPaths == 0 {
+			continue
+		}
+		best := -1
+		bestCost := 0.0
+		for r := 0; r < f.nPaths; r++ {
+			if allowed != nil && !allowed(r) {
+				continue
+			}
+			cost := 0.0
+			for _, l := range f.paths[r] {
+				if c := load[l] + f.Demand; c > cost {
+					cost = c
+				}
+			}
+			if best == -1 || cost < bestCost {
+				best = r
+				bestCost = cost
+			}
+		}
+		if best == -1 {
+			best = 0 // every route reserved: fall back rather than drop
+		}
+		for _, l := range f.paths[best] {
+			load[l] += f.Demand
+		}
+		a.set(f.Comm, f.Key, best)
+	}
+}

@@ -1,0 +1,220 @@
+// Package policy implements the provider-side scheduling and QoS policies
+// of paper §4.3, cleanly separated from the service mechanisms they drive:
+//
+//   - locality-aware ring configuration (example #1),
+//   - best-fit fair flow assignment, FFA (example #2, Hedera-style),
+//   - priority flow assignment, PFA (example #3),
+//   - time-window traffic scheduling, TS (example #4, CASSINI-style).
+//
+// Policies are pure functions from a cluster view to strategies / route
+// maps / schedules; the Controller pushes their outputs through the
+// deployment's management API.
+package policy
+
+import (
+	"sort"
+
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+)
+
+// LocalityRing computes the locality-aware ring order for a communicator
+// (paper example #1): ranks are grouped by host and hosts by rack, then
+// chained sequentially, which minimizes the number of ring edges that
+// cross rack boundaries (at most two per occupied rack).
+func LocalityRing(cluster *topo.Cluster, ranks []spec.RankInfo) []int {
+	// rack -> host -> ranks, preserving deterministic order.
+	byHost := make(map[topo.HostID][]int)
+	hostOrder := make(map[topo.RackID][]topo.HostID)
+	var rackOrder []topo.RackID
+	seenRack := make(map[topo.RackID]bool)
+	seenHost := make(map[topo.HostID]bool)
+	for _, ri := range ranks {
+		rack := cluster.RackOf(ri.Host)
+		if !seenRack[rack] {
+			seenRack[rack] = true
+			rackOrder = append(rackOrder, rack)
+		}
+		if !seenHost[ri.Host] {
+			seenHost[ri.Host] = true
+			hostOrder[rack] = append(hostOrder[rack], ri.Host)
+		}
+		byHost[ri.Host] = append(byHost[ri.Host], ri.Rank)
+	}
+	sort.Slice(rackOrder, func(i, j int) bool { return rackOrder[i] < rackOrder[j] })
+	order := make([]int, 0, len(ranks))
+	for _, rack := range rackOrder {
+		hosts := hostOrder[rack]
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		for _, h := range hosts {
+			rs := byHost[h]
+			sort.Ints(rs)
+			order = append(order, rs...)
+		}
+	}
+	return order
+}
+
+// CrossRackEdges counts the ring edges that cross rack boundaries under a
+// given ring order — the paper's Fig. 3 "cross-rack flows" numerator.
+func CrossRackEdges(cluster *topo.Cluster, ranks []spec.RankInfo, order []int) int {
+	n := len(order)
+	if n < 2 {
+		return 0
+	}
+	rackOf := func(rank int) topo.RackID {
+		return cluster.RackOf(ranks[rank].Host)
+	}
+	crossings := 0
+	for i := 0; i < n; i++ {
+		if rackOf(order[i]) != rackOf(order[(i+1)%n]) {
+			crossings++
+		}
+	}
+	return crossings
+}
+
+// CrossPodEdges counts ring edges crossing pod boundaries (three-tier
+// fat-trees; always 0 on two-tier clusters). Pod-level crossings traverse
+// the core tier, the scarcest capacity in a fat-tree, which is why the
+// paper's locality policy groups "under the same rack, under the same
+// pod".
+func CrossPodEdges(cluster *topo.Cluster, ranks []spec.RankInfo, order []int) int {
+	n := len(order)
+	if n < 2 {
+		return 0
+	}
+	podOf := func(rank int) int {
+		return cluster.PodOf(cluster.RackOf(ranks[rank].Host))
+	}
+	crossings := 0
+	for i := 0; i < n; i++ {
+		if podOf(order[i]) != podOf(order[(i+1)%n]) {
+			crossings++
+		}
+	}
+	return crossings
+}
+
+// OptimalCrossPodEdges is the minimum cross-pod edge count: one entry and
+// one exit per occupied pod (0 when a single pod holds all ranks).
+func OptimalCrossPodEdges(cluster *topo.Cluster, ranks []spec.RankInfo) int {
+	pods := make(map[int]bool)
+	for _, ri := range ranks {
+		pods[cluster.PodOf(cluster.RackOf(ri.Host))] = true
+	}
+	if len(pods) <= 1 {
+		return 0
+	}
+	return len(pods)
+}
+
+// OptimalCrossRackEdges is the minimum possible number of cross-rack ring
+// edges: one entering and one leaving each occupied rack (0 if a single
+// rack holds all ranks).
+func OptimalCrossRackEdges(cluster *topo.Cluster, ranks []spec.RankInfo) int {
+	racks := make(map[topo.RackID]bool)
+	for _, ri := range ranks {
+		racks[cluster.RackOf(ri.Host)] = true
+	}
+	if len(racks) <= 1 {
+		return 0
+	}
+	return len(racks)
+}
+
+// minRanksPerHost returns the smallest number of ranks the communicator
+// places on any of its hosts.
+func minRanksPerHost(info *spec.CommInfo) int {
+	counts := make(map[topo.HostID]int)
+	for _, ri := range info.Ranks {
+		counts[ri.Host]++
+	}
+	m := info.NumRanks()
+	for _, c := range counts {
+		if c < m {
+			m = c
+		}
+	}
+	return m
+}
+
+// pathDiversity estimates the number of equal-cost inter-host paths
+// available to a communicator (the spine count in a Clos).
+func pathDiversity(cluster *topo.Cluster, ranks []spec.RankInfo) int {
+	// Maximum over host pairs relative to the first host: same-rack
+	// pairs see a single path, cross-rack pairs see one per spine.
+	best := 1
+	var firstHost topo.HostID = -1
+	for _, ri := range ranks {
+		if firstHost == -1 {
+			firstHost = ri.Host
+			continue
+		}
+		if ri.Host == firstHost {
+			continue
+		}
+		a := cluster.Hosts[firstHost].NICs[0]
+		b := cluster.Hosts[ri.Host].NICs[0]
+		if n := len(cluster.PathsBetweenNICs(a, b)); n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// RingStrategyOptions configures the MCCS strategy providers.
+type RingStrategyOptions struct {
+	// MaxChannels caps the channel (ring) count; 0 means one ring per
+	// equal-cost path (the paper's §6.5 setting), capped at the number
+	// of NICs per rank so each ring has a NIC to itself.
+	MaxChannels int
+	// PinRoutes assigns channel i to path i (MCCS full). False leaves
+	// routing to ECMP (the MCCS(-FA) ablation).
+	PinRoutes bool
+	// TreeThreshold enables binomial-tree execution for dense rooted
+	// collectives below this many output bytes (0 = rings only). A
+	// provider can flip this per communicator without tenant changes —
+	// the "custom, proprietary collective approaches" flexibility the
+	// paper highlights.
+	TreeThreshold int64
+}
+
+// OptimalRingStrategy returns a StrategyProvider implementing the MCCS
+// control plane: locality-aware rings on every channel, one channel per
+// equal-cost path, optionally pinned to distinct paths.
+func OptimalRingStrategy(opts RingStrategyOptions) func(*topo.Cluster, *spec.CommInfo) spec.Strategy {
+	return func(cluster *topo.Cluster, info *spec.CommInfo) spec.Strategy {
+		order := LocalityRing(cluster, info.Ranks)
+		nch := pathDiversity(cluster, info.Ranks)
+		if opts.MaxChannels > 0 && nch > opts.MaxChannels {
+			nch = opts.MaxChannels
+		}
+		// No more rings than the NICs the communicator can actually
+		// drive per host: each rank brings one affinity NIC, so a host
+		// with k ranks feeds k rings. Beyond that, extra rings share
+		// NICs and add nothing.
+		if m := minRanksPerHost(info); nch > m {
+			nch = m
+		}
+		if nch < 1 {
+			nch = 1
+		}
+		hosts := make([]topo.HostID, info.NumRanks())
+		for i, ri := range info.Ranks {
+			hosts[i] = ri.Host
+		}
+		st := spec.Strategy{TreeThreshold: opts.TreeThreshold}
+		for c, chOrder := range spec.StripeChannelOrders(order, hosts, nch) {
+			route := spec.RouteECMP
+			if opts.PinRoutes {
+				route = c
+			}
+			st.Channels = append(st.Channels, spec.ChannelSpec{
+				Order: chOrder,
+				Route: route,
+			})
+		}
+		return st
+	}
+}

@@ -1,0 +1,127 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+
+	"mccs/internal/proxy"
+	"mccs/internal/sim"
+	"mccs/internal/transport"
+)
+
+// ComputeTS derives a time-window traffic schedule for *other*
+// applications from a prioritized application's collective trace (paper
+// example #4, after CASSINI): find the application's iteration period and
+// the phase window in which it communicates, then allow others to send
+// only outside that window.
+//
+// minEntries trace records are needed to estimate the period reliably.
+const minTSEntries = 4
+
+// tsWindow bounds how much history the estimator considers: schedules
+// must reflect the application's *current* cadence, not its congested
+// past (an over-estimated busy length degenerates to an always-allowed
+// schedule).
+const tsWindow = 48
+
+// ComputeTS analyzes the trace and returns the complementary schedule.
+// guard pads the busy window on both sides to absorb jitter.
+func ComputeTS(trace []proxy.TraceEntry, guard time.Duration) (transport.Schedule, error) {
+	if len(trace) < minTSEntries {
+		return transport.Schedule{}, fmt.Errorf("policy: trace has %d entries, need >= %d", len(trace), minTSEntries)
+	}
+	if len(trace) > tsWindow {
+		trace = trace[len(trace)-tsWindow:]
+	}
+	// Iteration period: mean gap between consecutive collective starts.
+	// Training loops issue the same collective pattern every iteration,
+	// so consecutive-start deltas cluster around the true period.
+	var gaps time.Duration
+	for i := 1; i < len(trace); i++ {
+		gaps += trace[i].Result.Start.Sub(trace[i-1].Result.Start)
+	}
+	period := gaps / time.Duration(len(trace)-1)
+	if period <= 0 {
+		return transport.Schedule{}, fmt.Errorf("policy: non-positive period estimate")
+	}
+
+	// Busy phase: where within the period the collectives run. Use the
+	// most recent collective as the phase anchor and a robust upper
+	// percentile of the recent durations as the busy length (the max is
+	// too sensitive to one congested outlier).
+	last := trace[len(trace)-1].Result
+	phase := time.Duration(last.Start) % period
+	durs := make([]time.Duration, 0, len(trace))
+	for _, e := range trace {
+		durs = append(durs, e.Result.Elapsed())
+	}
+	sortDurations(durs)
+	busy := durs[(len(durs)*9)/10]
+	busy += 2 * guard
+	if busy >= period {
+		// The prioritized app communicates all the time; no idle window
+		// exists. An empty schedule (always allowed) is the only safe
+		// answer — TS cannot help here.
+		return transport.Schedule{}, nil
+	}
+
+	// Others may transmit in [phase+busy-guard, phase+period-guard),
+	// i.e. the complement of the busy window. Normalize into [0,period).
+	start := phase + busy - guard
+	length := period - busy
+	start = start % period
+	sched := transport.Schedule{Period: period}
+	if start+length <= period {
+		sched.Slots = []transport.Slot{{Offset: start, Length: length}}
+	} else {
+		first := period - start
+		sched.Slots = []transport.Slot{
+			{Offset: 0, Length: length - first},
+			{Offset: start, Length: first},
+		}
+	}
+	if err := sched.Validate(); err != nil {
+		return transport.Schedule{}, fmt.Errorf("policy: derived invalid TS schedule: %w", err)
+	}
+	return sched, nil
+}
+
+// IdleFraction reports how much of the estimated period the traced
+// application leaves the network idle — the headroom TS can hand to other
+// tenants.
+func IdleFraction(trace []proxy.TraceEntry) float64 {
+	if len(trace) < 2 {
+		return 0
+	}
+	var gaps, busy time.Duration
+	for i := 1; i < len(trace); i++ {
+		gaps += trace[i].Result.Start.Sub(trace[i-1].Result.Start)
+	}
+	period := gaps / time.Duration(len(trace)-1)
+	for _, e := range trace {
+		busy += e.Result.Elapsed()
+	}
+	meanBusy := busy / time.Duration(len(trace))
+	if period <= 0 {
+		return 0
+	}
+	f := 1 - float64(meanBusy)/float64(period)
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// phaseOf returns t's phase within a period (exported for tests via the
+// package test file).
+func phaseOf(t sim.Time, period time.Duration) time.Duration {
+	return time.Duration(t) % period
+}
+
+func sortDurations(a []time.Duration) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

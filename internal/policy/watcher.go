@@ -1,0 +1,177 @@
+package policy
+
+import (
+	"sort"
+	"time"
+
+	"mccs/internal/netsim"
+	"mccs/internal/sim"
+	"mccs/internal/spec"
+)
+
+// CongestionWatcher automates the Fig. 7 scenario end to end. The paper
+// leaves monitoring to "external components": "a switch agent can be
+// configured to report to a centralized manager when there are persistent
+// large flows that are not managed by MCCS. The centralized manager can
+// then send a new configuration to MCCS service." This watcher is that
+// pair of components: it samples per-link external traffic, and when a
+// link stays congested it remediates every affected communicator —
+// re-pinning connections onto clean equal-cost paths when path diversity
+// exists, or reversing the ring when it does not (the switch-ring case).
+type CongestionWatcher struct {
+	ctrl *Controller
+	// Interval between link scans.
+	Interval time.Duration
+	// ExternalFraction of a link's capacity that counts as congesting
+	// when carried by unmanaged traffic.
+	ExternalFraction float64
+	// Consecutive scans a link must stay congested before acting
+	// ("persistent").
+	Consecutive int
+
+	hot map[netsim.LinkID]int
+	// remediated remembers the links already acted on so a persistent
+	// background flow does not retrigger endlessly.
+	remediated map[netsim.LinkID]bool
+	// Remediations counts actions taken, for tests and dashboards.
+	Remediations int
+}
+
+// NewCongestionWatcher builds a watcher with the controller's deployment.
+func (c *Controller) NewCongestionWatcher() *CongestionWatcher {
+	return &CongestionWatcher{
+		ctrl:             c,
+		Interval:         250 * time.Millisecond,
+		ExternalFraction: 0.5,
+		Consecutive:      3,
+		hot:              make(map[netsim.LinkID]int),
+		remediated:       make(map[netsim.LinkID]bool),
+	}
+}
+
+// Start spawns the watcher daemon; it runs until stop fires.
+func (w *CongestionWatcher) Start(stop *sim.Event) {
+	d := w.ctrl.dep
+	d.S.GoDaemon("congestion-watcher", func(p *sim.Proc) {
+		for stop == nil || !stop.Done() {
+			p.Sleep(w.Interval)
+			w.scan()
+		}
+	})
+}
+
+// scan samples links and remediates persistent external congestion.
+func (w *CongestionWatcher) scan() {
+	d := w.ctrl.dep
+	net := d.Cluster.Net
+	var congested []netsim.LinkID
+	for i := 0; i < net.NumLinks(); i++ {
+		l := netsim.LinkID(i)
+		cap := net.Link(l).Capacity
+		if cap <= 0 {
+			continue
+		}
+		if d.Fabric.ExternalRate(l)/cap >= w.ExternalFraction {
+			w.hot[l]++
+			if w.hot[l] >= w.Consecutive && !w.remediated[l] {
+				congested = append(congested, l)
+			}
+		} else {
+			w.hot[l] = 0
+			delete(w.remediated, l)
+		}
+	}
+	if len(congested) == 0 {
+		return
+	}
+	sort.Slice(congested, func(i, j int) bool { return congested[i] < congested[j] })
+	bad := make(map[netsim.LinkID]bool, len(congested))
+	for _, l := range congested {
+		bad[l] = true
+	}
+	for _, ci := range d.View() {
+		w.remediate(ci, bad)
+	}
+	for _, l := range congested {
+		w.remediated[l] = true
+	}
+}
+
+// remediate fixes one communicator's exposure to the congested links.
+func (w *CongestionWatcher) remediate(ci spec.CommInfo, bad map[netsim.LinkID]bool) {
+	d := w.ctrl.dep
+	comm, ok := d.Comm(ci.ID)
+	if !ok {
+		return
+	}
+	routes := comm.ConnRoutes()
+	var affected []spec.ConnKey
+	for key, path := range routes {
+		for _, l := range path {
+			if bad[l] {
+				affected = append(affected, key)
+				break
+			}
+		}
+	}
+	if len(affected) == 0 {
+		return
+	}
+	w.Remediations++
+	// Path diversity available? Re-pin the affected connections onto the
+	// first equal-cost path that avoids every congested link.
+	canReroute := true
+	newRoutes := make(map[spec.ConnKey]int, len(affected))
+	for _, key := range affected {
+		src := d.Cluster.NICNode(ci.Ranks[key.FromRank].NIC)
+		dst := d.Cluster.NICNode(ci.Ranks[key.ToRank].NIC)
+		idx, ok := cleanPath(d.Cluster.Net, src, dst, bad)
+		if !ok {
+			canReroute = false
+			break
+		}
+		newRoutes[key] = idx
+	}
+	if canReroute {
+		if err := d.UpdateRoutes(ci.ID, newRoutes); err == nil {
+			return
+		}
+	}
+	// No clean alternate path: reverse the rings (the Fig. 7 move) and
+	// let the reconfiguration barrier switch every rank safely.
+	cur := comm.Strategy()
+	rev := spec.Strategy{TreeThreshold: cur.TreeThreshold}
+	for _, ch := range cur.Channels {
+		order := append([]int(nil), ch.Order...)
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+		rev.Channels = append(rev.Channels, spec.ChannelSpec{Order: order, Route: ch.Route})
+	}
+	if _, err := d.ReconfigureAsync(ci.ID, rev, nil); err != nil {
+		// Baseline deployments cannot reconfigure; nothing to do.
+		_ = err
+	}
+}
+
+// cleanPath returns the index of the first equal-cost path between the
+// endpoints that avoids all congested links.
+func cleanPath(net *netsim.Network, src, dst netsim.NodeID, bad map[netsim.LinkID]bool) (int, bool) {
+	paths := net.PathsBetween(src, dst)
+	if len(paths) < 2 {
+		return 0, false
+	}
+	for i, p := range paths {
+		clean := true
+		for _, l := range p {
+			if bad[l] {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,292 @@
+package proxy
+
+import (
+	"fmt"
+
+	"mccs/internal/collective"
+	"mccs/internal/sim"
+	"mccs/internal/transport"
+)
+
+// maxTrace bounds the per-runner trace history handed to the management
+// plane.
+const maxTrace = 4096
+
+// execute runs one collective to completion for this rank. Execution is
+// lock-step with the peers through the data dependencies of the ring:
+// each step's receive blocks until the predecessor's send completes.
+func (r *Runner) execute(p *sim.Proc, op *OpRequest) {
+	start := p.Now()
+	op.AppEvent.WaitHost(p)
+	if op.Count <= 0 {
+		panic(fmt.Sprintf("proxy: collective with count %d", op.Count))
+	}
+	n := r.comm.Info.NumRanks()
+	cs := r.comm.gens[r.gen]
+
+	r.initialCopy(p, op, n)
+
+	outBytes := op.Count * 4
+	if op.Op == collective.AllGather {
+		outBytes *= int64(n)
+	}
+
+	nch := len(cs.conns)
+	switch {
+	case n <= 1:
+		// Single-rank communicator: the initial copy is the whole op.
+	case r.useTree(op, cs, outBytes):
+		r.runTree(p, op, cs)
+	default:
+		if nch == 1 {
+			r.runChannel(p, op, cs, 0)
+		} else {
+			latch := sim.NewLatch(nch)
+			for ch := 0; ch < nch; ch++ {
+				ch := ch
+				r.comm.s.Go(fmt.Sprintf("proxy:c%d:r%d:ch%d", r.comm.Info.ID, r.rank, ch), func(p2 *sim.Proc) {
+					r.runChannel(p2, op, cs, ch)
+					latch.Done(r.comm.s)
+				})
+			}
+			latch.Wait(p)
+		}
+	}
+
+	res := OpResult{Seq: op.seq, Op: op.Op, Start: start, End: p.Now(), Bytes: outBytes}
+	if op.CompleteFire != nil {
+		op.CompleteFire()
+	}
+	r.trace = append(r.trace, TraceEntry{Result: res})
+	if len(r.trace) > maxTrace {
+		r.trace = r.trace[len(r.trace)-maxTrace:]
+	}
+	if op.Done != nil {
+		op.Done.Set(r.comm.s, res)
+	}
+}
+
+// initialCopy stages input data into the working (output) buffer:
+// out-of-place collectives copy the whole input; AllGather copies the
+// rank's contribution into its own output span.
+func (r *Runner) initialCopy(p *sim.Proc, op *OpRequest, n int) {
+	switch op.Op {
+	case collective.AllGather:
+		if op.SendBuf == nil {
+			panic("proxy: AllGather without send buffer")
+		}
+		p.Sleep(r.dev.TransferTime(op.Count*4, 1))
+		if op.SendBuf.Backed() && op.RecvBuf.Backed() {
+			dst := op.RecvBuf.Data()[int64(r.rank)*op.Count : (int64(r.rank)+1)*op.Count]
+			copy(dst, op.SendBuf.Data()[:op.Count])
+		}
+	default:
+		if op.SendBuf != nil && op.SendBuf != op.RecvBuf {
+			p.Sleep(r.dev.TransferTime(op.Count*4, 1))
+			if op.SendBuf.Backed() && op.RecvBuf.Backed() {
+				copy(op.RecvBuf.Data()[:op.Count], op.SendBuf.Data()[:op.Count])
+			}
+		}
+	}
+}
+
+// regionLayout returns the element offsets/lengths of op's data regions
+// over the output buffer.
+func regionLayout(op *OpRequest, n int) (starts, lens []int64) {
+	switch op.Op {
+	case collective.AllGather:
+		starts = make([]int64, n)
+		lens = make([]int64, n)
+		for i := range starts {
+			starts[i] = int64(i) * op.Count
+			lens[i] = op.Count
+		}
+		return starts, lens
+	case collective.Broadcast, collective.Reduce:
+		return []int64{0}, []int64{op.Count}
+	default:
+		return collective.Regions(op.Count, n)
+	}
+}
+
+// channelSlice returns the element sub-range of a region handled by
+// channel ch out of nch (channels split every region evenly).
+func channelSlice(start, length int64, nch, ch int) (int64, int64) {
+	if nch == 1 {
+		return start, length
+	}
+	starts, lens := collective.Regions(length, nch)
+	return start + starts[ch], lens[ch]
+}
+
+// useTree reports whether this op should run on the binomial tree: the
+// strategy enables trees, the op is a dense rooted collective at root 0
+// (the provisioned tree), and it is below the size threshold.
+func (r *Runner) useTree(op *OpRequest, cs *connSet, outBytes int64) bool {
+	if cs.tree == nil || outBytes >= cs.strategy.TreeThreshold {
+		return false
+	}
+	switch op.Op {
+	case collective.AllReduce:
+		return true
+	case collective.Broadcast, collective.Reduce:
+		return op.Root == 0
+	default:
+		return false
+	}
+}
+
+// runTree executes a binomial-tree schedule: each round moves the full
+// buffer to/from one peer. Latency-optimal for the small messages the
+// threshold admits.
+func (r *Runner) runTree(p *sim.Proc, op *OpRequest, cs *connSet) {
+	n := r.comm.Info.NumRanks()
+	rounds, err := collective.TreeRoundsFor(op.Op, n, r.rank, op.Root)
+	if err != nil {
+		panic(err)
+	}
+	p.Sleep(r.comm.cfg.KernelLaunch)
+	backed := op.RecvBuf != nil && op.RecvBuf.Backed()
+	for _, round := range rounds {
+		if !round.Active {
+			// Peers in this round exchange without us; nothing blocks
+			// our round counter because each transfer pairs sender and
+			// receiver explicitly.
+			continue
+		}
+		tr := round.T
+		if tr.Send {
+			conn := cs.tree[[2]int{r.rank, tr.Peer}]
+			var data []float32
+			if backed {
+				data = append([]float32(nil), op.RecvBuf.Data()[:op.Count]...)
+			}
+			conn.Send(op.Count*4, data, nil)
+			continue
+		}
+		conn := cs.tree[[2]int{tr.Peer, r.rank}]
+		d := conn.Recv(p)
+		passes := 1.0
+		if tr.Reduce {
+			passes = 2.0
+		}
+		p.Sleep(r.dev.TransferTime(op.Count*4, passes))
+		if d.Data != nil && backed {
+			dst := op.RecvBuf.Data()[:op.Count]
+			if tr.Reduce {
+				for i := range dst {
+					dst[i] += d.Data[i]
+				}
+			} else {
+				copy(dst, d.Data)
+			}
+		}
+	}
+}
+
+// sliceCount returns how many pipeline slices a chunk of bytes is cut
+// into under the config's slice model.
+func sliceCount(cfg Config, bytes int64) int {
+	if bytes <= 0 {
+		return 0
+	}
+	minSlice := cfg.MinSliceBytes
+	if minSlice <= 0 {
+		minSlice = 512 << 10
+	}
+	maxSlices := cfg.MaxSlices
+	if maxSlices <= 0 {
+		maxSlices = 8
+	}
+	k := int((bytes + minSlice - 1) / minSlice)
+	if k < 1 {
+		k = 1
+	}
+	if k > maxSlices {
+		k = maxSlices
+	}
+	return k
+}
+
+// runChannel executes the ring schedule of one channel.
+//
+// Each step's chunk is cut into slices that stream independently
+// (NCCL's FIFO-slot pipelining): a rank forwards slice k of a step as
+// soon as it has received slice k of the previous step, so a transient
+// phase skew between ranks costs one slice, not one chunk, of pipeline
+// stall.
+func (r *Runner) runChannel(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
+	ring := cs.rings[ch]
+	n := ring.Size()
+	steps := collective.Steps(op.Op, ring, r.rank, op.Root)
+	starts, lens := regionLayout(op, n)
+	nch := len(cs.conns)
+	cfg := r.comm.cfg
+
+	var sendConn, recvConn *transport.Conn
+	if sp := collective.SendPeer(op.Op, ring, r.rank, op.Root); sp != r.rank {
+		sendConn = cs.conns[ch][[2]int{r.rank, sp}]
+	}
+	if rp := collective.RecvPeer(op.Op, ring, r.rank, op.Root); rp != r.rank {
+		recvConn = cs.conns[ch][[2]int{rp, r.rank}]
+	}
+
+	// Fused communication kernel launch, once per channel.
+	p.Sleep(cfg.KernelLaunch)
+
+	backed := op.RecvBuf != nil && op.RecvBuf.Backed()
+	for _, st := range steps {
+		var sOff, sLen, rOff, rLen int64
+		if st.SendRegion >= 0 {
+			sOff, sLen = channelSlice(starts[st.SendRegion], lens[st.SendRegion], nch, ch)
+		}
+		if st.RecvRegion >= 0 {
+			rOff, rLen = channelSlice(starts[st.RecvRegion], lens[st.RecvRegion], nch, ch)
+		}
+		ks := sliceCount(cfg, sLen*4)
+		kr := sliceCount(cfg, rLen*4)
+		var sStarts, sLens, rStarts, rLens []int64
+		if ks > 0 {
+			sStarts, sLens = collective.Regions(sLen, ks)
+		}
+		if kr > 0 {
+			rStarts, rLens = collective.Regions(rLen, kr)
+		}
+		kmax := ks
+		if kr > kmax {
+			kmax = kr
+		}
+		for k := 0; k < kmax; k++ {
+			if k < ks && sLens[k] > 0 {
+				off, l := sOff+sStarts[k], sLens[k]
+				var data []float32
+				if backed {
+					data = append([]float32(nil), op.RecvBuf.Data()[off:off+l]...)
+				}
+				sendConn.Send(l*4, data, nil)
+			}
+			if k < kr && rLens[k] > 0 {
+				off, l := rOff+rStarts[k], rLens[k]
+				d := recvConn.Recv(p)
+				passes := 1.0
+				if st.RecvReduce {
+					passes = 2.0
+				}
+				p.Sleep(r.dev.TransferTime(l*4, passes))
+				if d.Data != nil && backed {
+					dst := op.RecvBuf.Data()[off : off+l]
+					if int64(len(d.Data)) != l {
+						panic(fmt.Sprintf("proxy: slice size mismatch: got %d elems, want %d", len(d.Data), l))
+					}
+					if st.RecvReduce {
+						for i := range dst {
+							dst[i] += d.Data[i]
+						}
+					} else {
+						copy(dst, d.Data)
+					}
+				}
+			}
+		}
+	}
+}

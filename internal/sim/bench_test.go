@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTimerThroughput measures raw event scheduling + dispatch.
+func BenchmarkTimerThroughput(b *testing.B) {
+	s := New()
+	fired := 0
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i)*time.Nanosecond, func() { fired++ })
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if fired != b.N {
+		b.Fatalf("fired %d of %d", fired, b.N)
+	}
+}
+
+// BenchmarkQueuePingPong measures the baton cost of two processes
+// exchanging messages — the upper bound on engine-to-engine hops.
+func BenchmarkQueuePingPong(b *testing.B) {
+	s := New()
+	ping := NewQueue[int]()
+	pong := NewQueue[int]()
+	n := b.N
+	s.Go("a", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			ping.Push(s, i)
+			pong.Pop(p)
+		}
+	})
+	s.Go("b", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			v := ping.Pop(p)
+			pong.Push(s, v)
+		}
+	})
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProcSpawn measures process creation + completion.
+func BenchmarkProcSpawn(b *testing.B) {
+	s := New()
+	for i := 0; i < b.N; i++ {
+		s.Go("p", func(p *Proc) { p.Sleep(time.Microsecond) })
+	}
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+// Package sim implements a deterministic cooperative virtual-time scheduler.
+//
+// All higher layers of this repository (the network fabric, the simulated GPU
+// runtime, the MCCS service engines and the tenant applications) execute as
+// sim processes. Exactly one process runs at any instant; a process gives up
+// control only at explicit blocking points (Sleep, queue pops, event waits).
+// The scheduler advances a virtual clock between events, so a multi-host,
+// multi-second experiment executes in milliseconds of real time and is
+// reproducible bit-for-bit.
+//
+// Concurrency model: the scheduler and every process goroutine exchange a
+// baton; no two of them run concurrently, so simulation state needs no locks.
+// All sim objects must be touched only from scheduler context (process bodies
+// and timer callbacks).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as an offset from the start of the
+// simulation. The zero Time is the simulation epoch.
+type Time time.Duration
+
+// Duration re-exports time.Duration for call-site brevity.
+type Duration = time.Duration
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	procRunnable procState = iota
+	procRunning
+	procParked
+	procDone
+)
+
+// Proc is a simulated process. A Proc is created by Scheduler.Go and passed
+// to the process body; the body uses it for all blocking operations.
+type Proc struct {
+	s       *Scheduler
+	name    string
+	id      int
+	state   procState
+	daemon  bool   // excluded from deadlock detection (long-lived service loops)
+	parkSeq uint64 // increments at every park; stale wakeups are discarded
+	resume  chan struct{}
+
+	// wakeReason is set by the waker immediately before readying the
+	// process, and read by the parked process when it resumes.
+	wakeReason any
+}
+
+// Name returns the debug name the process was created with.
+func (p *Proc) Name() string { return p.name }
+
+// Scheduler returns the scheduler this process belongs to.
+func (p *Proc) Scheduler() *Scheduler { return p.s }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.s.now }
+
+// event is a scheduled callback. Events fire in (at, seq) order; seq breaks
+// ties so that events scheduled earlier run earlier, which keeps the
+// simulation deterministic.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped/canceled
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Timer is a handle to a scheduled callback that can be stopped.
+type Timer struct {
+	s  *Scheduler
+	ev *event
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the timer
+// was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Scheduler owns the virtual clock and the event queue.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	yield  chan struct{}
+	nextID int
+
+	live    int // processes not yet Done
+	parked  map[int]*Proc
+	current *Proc
+
+	panicked any
+}
+
+// New returns an empty scheduler positioned at the simulation epoch.
+func New() *Scheduler {
+	return &Scheduler{
+		yield:  make(chan struct{}),
+		parked: make(map[int]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Go creates a process named name executing fn and schedules it to start at
+// the current virtual time.
+func (s *Scheduler) Go(name string, fn func(p *Proc)) *Proc {
+	s.nextID++
+	p := &Proc{
+		s:      s,
+		name:   name,
+		id:     s.nextID,
+		state:  procRunnable,
+		resume: make(chan struct{}),
+	}
+	s.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				s.panicked = fmt.Sprintf("sim process %q panicked: %v", p.name, r)
+			}
+			p.state = procDone
+			s.live--
+			s.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	s.at(s.now, func() { s.dispatch(p) })
+	return p
+}
+
+// GoDaemon is Go for service loops that legitimately outlive the workload:
+// a daemon parked forever does not count as a deadlock.
+func (s *Scheduler) GoDaemon(name string, fn func(p *Proc)) *Proc {
+	p := s.Go(name, fn)
+	p.daemon = true
+	return p
+}
+
+// At schedules fn to run in scheduler context at time t (or now, if t is in
+// the past). The returned Timer can cancel it.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	return &Timer{s: s, ev: s.at(t, fn)}
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d Duration, fn func()) *Timer {
+	return s.At(s.now.Add(d), fn)
+}
+
+func (s *Scheduler) at(t Time, fn func()) *event {
+	s.seq++
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// dispatch hands the baton to p and waits for it to park or exit.
+func (s *Scheduler) dispatch(p *Proc) {
+	if p.state == procDone {
+		return
+	}
+	p.state = procRunning
+	s.current = p
+	p.resume <- struct{}{}
+	<-s.yield
+	s.current = nil
+	if s.panicked != nil {
+		panic(s.panicked)
+	}
+}
+
+// park blocks the current process until something calls ready on it. It
+// returns the wakeReason installed by the waker.
+func (p *Proc) park() any {
+	if p.s.current != p {
+		panic("sim: park called from a process that is not running")
+	}
+	p.state = procParked
+	p.parkSeq++
+	p.s.parked[p.id] = p
+	p.s.yield <- struct{}{}
+	<-p.resume
+	reason := p.wakeReason
+	p.wakeReason = nil
+	return reason
+}
+
+// ready marks a parked process runnable, scheduling its resumption at the
+// current virtual time. seq guards against stale wakeups.
+func (s *Scheduler) ready(p *Proc, seq uint64, reason any) {
+	if p.state != procParked || p.parkSeq != seq {
+		return
+	}
+	p.state = procRunnable
+	delete(s.parked, p.id)
+	p.wakeReason = reason
+	s.at(s.now, func() { s.dispatch(p) })
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	seq := p.parkSeq + 1
+	p.s.At(p.s.now.Add(d), func() { p.s.ready(p, seq, nil) })
+	p.park()
+}
+
+// SleepUntil suspends the process until virtual time t.
+func (p *Proc) SleepUntil(t Time) {
+	p.Sleep(t.Sub(p.s.now))
+}
+
+// Yield reschedules the process behind every event already queued for the
+// current instant.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// DeadlockError reports processes that can never be woken: the event queue
+// drained while they were still parked.
+type DeadlockError struct {
+	Now    Time
+	Parked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) parked forever: %v",
+		time.Duration(e.Now), len(e.Parked), e.Parked)
+}
+
+// Run executes events until the queue drains. It returns a *DeadlockError if
+// processes remain parked with no pending events, and nil otherwise.
+func (s *Scheduler) Run() error {
+	return s.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil executes events with timestamps <= limit. The clock stops at the
+// last executed event (or limit if events remain beyond it).
+func (s *Scheduler) RunUntil(limit Time) error {
+	for len(s.queue) > 0 {
+		ev := s.queue[0]
+		if ev.at > limit {
+			s.now = limit
+			return nil
+		}
+		heap.Pop(&s.queue)
+		if ev.canceled {
+			continue
+		}
+		if ev.at > s.now {
+			s.now = ev.at
+		}
+		ev.fn()
+		if s.panicked != nil {
+			panic(s.panicked)
+		}
+	}
+	e := &DeadlockError{Now: s.now}
+	for _, p := range s.parked {
+		if !p.daemon {
+			e.Parked = append(e.Parked, p.name)
+		}
+	}
+	if len(e.Parked) > 0 {
+		sortStrings(e.Parked)
+		return e
+	}
+	return nil
+}
+
+// sortStrings is a tiny insertion sort so this package does not need to
+// import sort for one call site.
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

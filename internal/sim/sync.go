@@ -1,0 +1,221 @@
+package sim
+
+// This file provides blocking primitives for sim processes: wait queues,
+// one-shot events, completion latches and FIFO message queues. All of them
+// must be used from scheduler context only.
+
+// waiter records one parked process together with the park sequence number
+// that makes its wakeup valid.
+type waiter struct {
+	p   *Proc
+	seq uint64
+}
+
+// WaitQueue is the low-level building block: processes park on it and other
+// processes wake one or all of them. It carries no state of its own, so the
+// caller supplies the predicate (as with sync.Cond).
+type WaitQueue struct {
+	waiters []waiter
+}
+
+// Wait parks the calling process until WakeOne or WakeAll selects it. It
+// returns the reason value supplied by the waker.
+func (q *WaitQueue) Wait(p *Proc) any {
+	q.waiters = append(q.waiters, waiter{p: p, seq: p.parkSeq + 1})
+	return p.park()
+}
+
+// WakeOne readies the longest-parked waiter, passing it reason. It reports
+// whether a waiter was woken.
+func (q *WaitQueue) WakeOne(s *Scheduler, reason any) bool {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		if w.p.state == procParked && w.p.parkSeq == w.seq {
+			s.ready(w.p, w.seq, reason)
+			return true
+		}
+	}
+	return false
+}
+
+// WakeAll readies every waiter, passing each of them reason.
+func (q *WaitQueue) WakeAll(s *Scheduler, reason any) int {
+	n := 0
+	ws := q.waiters
+	q.waiters = nil
+	for _, w := range ws {
+		if w.p.state == procParked && w.p.parkSeq == w.seq {
+			s.ready(w.p, w.seq, reason)
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the number of processes currently parked on the queue.
+func (q *WaitQueue) Len() int { return len(q.waiters) }
+
+// Event is a one-shot broadcast: Wait blocks until Signal has been called;
+// once signaled it never blocks again.
+type Event struct {
+	done bool
+	wq   WaitQueue
+}
+
+// Signal fires the event, waking all current and future waiters.
+func (e *Event) Signal(s *Scheduler) {
+	if e.done {
+		return
+	}
+	e.done = true
+	e.wq.WakeAll(s, nil)
+}
+
+// Done reports whether the event has fired.
+func (e *Event) Done() bool { return e.done }
+
+// Wait blocks until the event fires. It returns immediately if it already
+// has.
+func (e *Event) Wait(p *Proc) {
+	if e.done {
+		return
+	}
+	e.wq.Wait(p)
+}
+
+// Latch counts down from n; Wait blocks until the count reaches zero.
+// It generalizes Event to "wait for n completions".
+type Latch struct {
+	n  int
+	wq WaitQueue
+}
+
+// NewLatch returns a latch that opens after n calls to Done.
+func NewLatch(n int) *Latch { return &Latch{n: n} }
+
+// Done decrements the count, waking waiters when it reaches zero.
+func (l *Latch) Done(s *Scheduler) {
+	if l.n <= 0 {
+		return
+	}
+	l.n--
+	if l.n == 0 {
+		l.wq.WakeAll(s, nil)
+	}
+}
+
+// Wait blocks until the count reaches zero.
+func (l *Latch) Wait(p *Proc) {
+	if l.n <= 0 {
+		return
+	}
+	l.wq.Wait(p)
+}
+
+// Queue is an unbounded FIFO of T with blocking Pop. It is the shared-memory
+// command-queue analogue used between the shim and the service engines.
+type Queue[T any] struct {
+	items []T
+	wq    WaitQueue
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Push appends v and wakes one blocked reader, if any.
+func (q *Queue[T]) Push(s *Scheduler, v T) {
+	q.items = append(q.items, v)
+	q.wq.WakeOne(s, nil)
+}
+
+// TryPop removes and returns the head without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// Pop blocks the calling process until an item is available, then removes
+// and returns the head.
+func (q *Queue[T]) Pop(p *Proc) T {
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v
+		}
+		q.wq.Wait(p)
+	}
+}
+
+// PopTimeout is like Pop but gives up after d, reporting ok=false. A zero or
+// negative d degenerates to TryPop.
+func (q *Queue[T]) PopTimeout(p *Proc, d Duration) (T, bool) {
+	var zero T
+	if v, ok := q.TryPop(); ok {
+		return v, true
+	}
+	if d <= 0 {
+		return zero, false
+	}
+	deadline := p.s.now.Add(d)
+	for {
+		seq := p.parkSeq + 1
+		timer := p.s.At(deadline, func() { p.s.ready(p, seq, timeoutReason{}) })
+		q.wq.waiters = append(q.wq.waiters, waiter{p: p, seq: seq})
+		reason := p.park()
+		timer.Stop()
+		if _, timedOut := reason.(timeoutReason); timedOut {
+			return zero, false
+		}
+		if v, ok := q.TryPop(); ok {
+			return v, true
+		}
+		if p.s.now >= deadline {
+			return zero, false
+		}
+	}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+type timeoutReason struct{}
+
+// Future carries a single value produced once; Wait blocks until Set.
+type Future[T any] struct {
+	set bool
+	val T
+	wq  WaitQueue
+}
+
+// NewFuture returns an unset future.
+func NewFuture[T any]() *Future[T] { return &Future[T]{} }
+
+// Set stores the value and wakes all waiters. Setting twice panics: futures
+// represent one-shot results.
+func (f *Future[T]) Set(s *Scheduler, v T) {
+	if f.set {
+		panic("sim: Future set twice")
+	}
+	f.set = true
+	f.val = v
+	f.wq.WakeAll(s, nil)
+}
+
+// Ready reports whether the value has been set.
+func (f *Future[T]) Ready() bool { return f.set }
+
+// Wait blocks until the value is set and returns it.
+func (f *Future[T]) Wait(p *Proc) T {
+	for !f.set {
+		f.wq.Wait(p)
+	}
+	return f.val
+}

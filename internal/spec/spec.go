@@ -1,0 +1,173 @@
+// Package spec holds the shared vocabulary between the MCCS service, the
+// proxy/transport engines and the provider-side policies: communicator
+// descriptions and collective strategies. Keeping these types in a leaf
+// package lets policy code consume a ClusterView and emit Strategies
+// without importing the engines (the paper's policy/mechanism split).
+package spec
+
+import (
+	"fmt"
+
+	"mccs/internal/topo"
+)
+
+// AppID identifies a tenant application.
+type AppID string
+
+// CommID identifies a communicator cluster-wide.
+type CommID int
+
+// RankInfo locates one rank of a communicator on the cluster.
+type RankInfo struct {
+	Rank int
+	GPU  topo.GPUID
+	Host topo.HostID
+	NIC  topo.NICID
+}
+
+// ChannelSpec configures one channel (one ring) of a communicator. Every
+// channel carries an equal share of each collective's bytes.
+type ChannelSpec struct {
+	// Order is the ring order in rank space: Order[pos] = rank.
+	Order []int
+	// Route selects which of the equal-cost fabric paths this channel's
+	// inter-host connections are pinned to (index into PathsBetweenNICs,
+	// applied modulo the path count). RouteECMP leaves the choice to
+	// ECMP hashing, as the NCCL baseline does.
+	Route int
+}
+
+// RouteECMP as a ChannelSpec.Route or Strategy.Routes value means "do not
+// pin; let ECMP hash the connection onto a path".
+const RouteECMP = -1
+
+// ConnKey identifies one directed inter-host connection of a communicator
+// for per-connection route overrides.
+type ConnKey struct {
+	Channel  int
+	FromRank int
+	ToRank   int
+}
+
+// Strategy is the provider-chosen collective configuration of one
+// communicator: the ring order and route of every channel, plus optional
+// per-connection route overrides (the FFA output).
+type Strategy struct {
+	Channels []ChannelSpec
+	// Routes overrides the channel route for individual connections;
+	// missing keys fall back to the ChannelSpec.
+	Routes map[ConnKey]int
+	// TreeThreshold, when positive, runs dense rooted collectives
+	// (AllReduce/Broadcast/Reduce) smaller than this many output bytes
+	// on a binomial tree instead of the rings: 2·ceil(log2 n) rounds
+	// instead of 2(n-1) steps, the latency/bandwidth trade NCCL also
+	// makes. Zero disables tree collectives.
+	TreeThreshold int64
+}
+
+// RouteFor resolves the route index for a connection.
+func (s *Strategy) RouteFor(k ConnKey) int {
+	if r, ok := s.Routes[k]; ok {
+		return r
+	}
+	if k.Channel < len(s.Channels) {
+		return s.Channels[k.Channel].Route
+	}
+	return RouteECMP
+}
+
+// Clone deep-copies the strategy.
+func (s *Strategy) Clone() Strategy {
+	c := Strategy{Channels: make([]ChannelSpec, len(s.Channels)), TreeThreshold: s.TreeThreshold}
+	for i, ch := range s.Channels {
+		c.Channels[i] = ChannelSpec{Order: append([]int(nil), ch.Order...), Route: ch.Route}
+	}
+	if s.Routes != nil {
+		c.Routes = make(map[ConnKey]int, len(s.Routes))
+		for k, v := range s.Routes {
+			c.Routes[k] = v
+		}
+	}
+	return c
+}
+
+// Validate checks the strategy against a communicator size.
+func (s *Strategy) Validate(nranks int) error {
+	if len(s.Channels) == 0 {
+		return fmt.Errorf("spec: strategy has no channels")
+	}
+	for ci, ch := range s.Channels {
+		if len(ch.Order) != nranks {
+			return fmt.Errorf("spec: channel %d ring has %d ranks, want %d", ci, len(ch.Order), nranks)
+		}
+		seen := make([]bool, nranks)
+		for _, r := range ch.Order {
+			if r < 0 || r >= nranks || seen[r] {
+				return fmt.Errorf("spec: channel %d ring is not a permutation", ci)
+			}
+			seen[r] = true
+		}
+	}
+	return nil
+}
+
+// CommInfo is the management-plane view of one communicator, consumed by
+// the external controller's policies.
+type CommInfo struct {
+	ID       CommID
+	App      AppID
+	Ranks    []RankInfo
+	Strategy Strategy
+	// Priority is the provider-assigned QoS class (higher = more
+	// important); policies such as PFA consume it.
+	Priority int
+}
+
+// NumRanks returns the communicator size.
+func (c *CommInfo) NumRanks() int { return len(c.Ranks) }
+
+// StripeChannelOrders derives per-channel ring orders from a base order:
+// channel c rotates each host-contiguous segment of the base order by c,
+// so consecutive channels put a different GPU (and therefore a different
+// affinity NIC) at each host boundary. With one ring per NIC this spreads
+// inter-host traffic across all of a host's NICs — NCCL's multi-channel
+// NIC striping, which both MCCS and the baseline get.
+func StripeChannelOrders(base []int, hostOfRank []topo.HostID, nch int) [][]int {
+	out := make([][]int, nch)
+	// Identify host-contiguous segments of the base order.
+	type seg struct{ start, end int } // [start, end)
+	var segs []seg
+	for i := 0; i < len(base); {
+		j := i + 1
+		for j < len(base) && hostOfRank[base[j]] == hostOfRank[base[i]] {
+			j++
+		}
+		segs = append(segs, seg{i, j})
+		i = j
+	}
+	for c := 0; c < nch; c++ {
+		order := make([]int, len(base))
+		for _, sg := range segs {
+			n := sg.end - sg.start
+			for k := 0; k < n; k++ {
+				order[sg.start+k] = base[sg.start+(k+c)%n]
+			}
+		}
+		out[c] = order
+	}
+	return out
+}
+
+// Hosts returns the distinct hosts of the communicator's ranks, in rank
+// order of first appearance.
+func (c *CommInfo) Hosts() []topo.HostID {
+	var out []topo.HostID
+	seen := make(map[topo.HostID]bool)
+	for _, r := range c.Ranks {
+		if !seen[r.Host] {
+			seen[r.Host] = true
+			out = append(out, r.Host)
+		}
+	}
+	return out
+}

@@ -1,0 +1,291 @@
+// Package topo models the physical cluster: hosts with GPUs and NICs,
+// racks, and the switching fabric that connects them. It builds the
+// netsim.Network for a given cluster shape and carries the locality
+// metadata (which rack a host is in, which NIC serves a GPU) that the
+// provider-side policies in internal/policy exploit — exactly the
+// information the paper argues a cloud provider has and tenants do not.
+package topo
+
+import (
+	"fmt"
+
+	"mccs/internal/netsim"
+)
+
+// Gbps converts gigabits per second to the simulator's bytes-per-second
+// unit.
+const Gbps = 125e6
+
+// IDs for the cluster inventory. They index the Cluster's slices.
+type (
+	HostID int
+	GPUID  int
+	NICID  int
+	RackID int
+)
+
+// GPU is one accelerator. Its NIC field is the host NIC with the best
+// affinity (the one the provider uses for this GPU's inter-host traffic).
+type GPU struct {
+	ID    GPUID
+	Host  HostID
+	Index int // index within the host
+	NIC   NICID
+}
+
+// NIC is one (possibly virtual) network interface, an endpoint node in the
+// fabric graph.
+type NIC struct {
+	ID    NICID
+	Host  HostID
+	Index int // index within the host
+	Node  netsim.NodeID
+	Rate  float64 // bytes/sec
+}
+
+// Host is one server.
+type Host struct {
+	ID   HostID
+	Name string
+	Rack RackID
+	GPUs []GPUID
+	NICs []NICID
+}
+
+// Cluster is the full physical inventory plus the fabric graph.
+type Cluster struct {
+	Net   *netsim.Network
+	Hosts []Host
+	GPUs  []GPU
+	NICs  []NIC
+
+	// LeafNodes[r] is the switch node of rack r; SpineNodes are the
+	// second-tier switches (empty for non-Clos topologies).
+	LeafNodes  []netsim.NodeID
+	SpineNodes []netsim.NodeID
+	// PodOfRack[r] is rack r's pod in three-tier fat-trees (empty for
+	// two-tier clusters; PodOf treats missing entries as pod 0).
+	PodOfRack []int
+
+	// IntraHostBps is the bandwidth of the intra-host GPU-to-GPU channel
+	// (NVLink / shared host memory), used by the collective engine for
+	// same-host steps that never touch the fabric.
+	IntraHostBps float64
+}
+
+// NumRacks returns the number of racks (leaf switches).
+func (c *Cluster) NumRacks() int { return len(c.LeafNodes) }
+
+// RackOf returns the rack that hosts h.
+func (c *Cluster) RackOf(h HostID) RackID { return c.Hosts[h].Rack }
+
+// HostOfGPU returns the host owning GPU g.
+func (c *Cluster) HostOfGPU(g GPUID) HostID { return c.GPUs[g].Host }
+
+// NICOfGPU returns the affinity NIC of GPU g.
+func (c *Cluster) NICOfGPU(g GPUID) NICID { return c.GPUs[g].NIC }
+
+// NICNode returns the fabric node of NIC n.
+func (c *Cluster) NICNode(n NICID) netsim.NodeID { return c.NICs[n].Node }
+
+// SameHost reports whether two GPUs live on one host.
+func (c *Cluster) SameHost(a, b GPUID) bool { return c.GPUs[a].Host == c.GPUs[b].Host }
+
+// SameRack reports whether two hosts share a rack.
+func (c *Cluster) SameRack(a, b HostID) bool { return c.Hosts[a].Rack == c.Hosts[b].Rack }
+
+// PathsBetweenNICs returns all equal-cost shortest fabric paths between two
+// NICs. This is the provider's multipath choice set for MCCS route pinning
+// and the ECMP hash domain for the baseline.
+func (c *Cluster) PathsBetweenNICs(a, b NICID) [][]netsim.LinkID {
+	return c.Net.PathsBetween(c.NICs[a].Node, c.NICs[b].Node)
+}
+
+// ClosConfig describes a two-tier spine-leaf fabric.
+type ClosConfig struct {
+	Spines       int
+	Leaves       int // one leaf per rack
+	HostsPerLeaf int
+	GPUsPerHost  int
+	NICsPerHost  int     // GPUs are striped across NICs by index
+	NICBps       float64 // NIC and host-to-leaf link rate, bytes/sec
+	LeafSpineBps float64 // per leaf-spine link rate, bytes/sec
+	IntraHostBps float64 // intra-host channel rate; 0 picks a default
+}
+
+// Validate reports configuration errors.
+func (cfg *ClosConfig) Validate() error {
+	switch {
+	case cfg.Spines < 1:
+		return fmt.Errorf("topo: Spines = %d, need >= 1", cfg.Spines)
+	case cfg.Leaves < 1:
+		return fmt.Errorf("topo: Leaves = %d, need >= 1", cfg.Leaves)
+	case cfg.HostsPerLeaf < 1:
+		return fmt.Errorf("topo: HostsPerLeaf = %d, need >= 1", cfg.HostsPerLeaf)
+	case cfg.GPUsPerHost < 1:
+		return fmt.Errorf("topo: GPUsPerHost = %d, need >= 1", cfg.GPUsPerHost)
+	case cfg.NICsPerHost < 1:
+		return fmt.Errorf("topo: NICsPerHost = %d, need >= 1", cfg.NICsPerHost)
+	case cfg.GPUsPerHost%cfg.NICsPerHost != 0:
+		return fmt.Errorf("topo: GPUsPerHost (%d) must be a multiple of NICsPerHost (%d)",
+			cfg.GPUsPerHost, cfg.NICsPerHost)
+	case cfg.NICBps <= 0 || cfg.LeafSpineBps <= 0:
+		return fmt.Errorf("topo: link rates must be positive")
+	}
+	return nil
+}
+
+// Oversubscription returns downlink/uplink capacity per rack.
+func (cfg *ClosConfig) Oversubscription() float64 {
+	down := float64(cfg.HostsPerLeaf*cfg.NICsPerHost) * cfg.NICBps
+	up := float64(cfg.Spines) * cfg.LeafSpineBps
+	return down / up
+}
+
+// BuildClos constructs the cluster for a spine-leaf config. Every NIC gets
+// its own duplex link to its rack's leaf; every leaf connects to every
+// spine. GPU i uses NIC i*NICsPerHost/GPUsPerHost (striping), matching the
+// paper's one-NIC-per-GPU testbed arrangement.
+func BuildClos(cfg ClosConfig) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{Net: netsim.NewNetwork(), IntraHostBps: cfg.IntraHostBps}
+	if c.IntraHostBps <= 0 {
+		// A conservative PCIe/shared-memory figure; NVLink-class systems
+		// override via the config.
+		c.IntraHostBps = 200 * Gbps
+	}
+	for s := 0; s < cfg.Spines; s++ {
+		c.SpineNodes = append(c.SpineNodes, c.Net.AddNode(fmt.Sprintf("spine%d", s)))
+	}
+	gpusPerNIC := cfg.GPUsPerHost / cfg.NICsPerHost
+	for l := 0; l < cfg.Leaves; l++ {
+		leaf := c.Net.AddNode(fmt.Sprintf("leaf%d", l))
+		c.LeafNodes = append(c.LeafNodes, leaf)
+		for _, spine := range c.SpineNodes {
+			c.Net.AddDuplex(leaf, spine, cfg.LeafSpineBps)
+		}
+		for h := 0; h < cfg.HostsPerLeaf; h++ {
+			hid := HostID(len(c.Hosts))
+			host := Host{ID: hid, Name: fmt.Sprintf("h%d-%d", l, h), Rack: RackID(l)}
+			for n := 0; n < cfg.NICsPerHost; n++ {
+				node := c.Net.AddNode(fmt.Sprintf("%s-nic%d", host.Name, n))
+				c.Net.AddDuplex(node, leaf, cfg.NICBps)
+				nid := NICID(len(c.NICs))
+				c.NICs = append(c.NICs, NIC{ID: nid, Host: hid, Index: n, Node: node, Rate: cfg.NICBps})
+				host.NICs = append(host.NICs, nid)
+			}
+			for g := 0; g < cfg.GPUsPerHost; g++ {
+				gid := GPUID(len(c.GPUs))
+				c.GPUs = append(c.GPUs, GPU{
+					ID: gid, Host: hid, Index: g,
+					NIC: host.NICs[g/gpusPerNIC],
+				})
+				host.GPUs = append(host.GPUs, gid)
+			}
+			c.Hosts = append(c.Hosts, host)
+		}
+	}
+	return c, nil
+}
+
+// TestbedConfig returns the paper's testbed (§6.1, Fig. 5a): 4 hosts in
+// 2 racks, 2 spines, 2 GPUs and 2 virtual 50 Gbps NICs per host, 50 Gbps
+// inter-switch links — a 2:1 oversubscribed spine-leaf.
+func TestbedConfig() ClosConfig {
+	return ClosConfig{
+		Spines:       2,
+		Leaves:       2,
+		HostsPerLeaf: 2,
+		GPUsPerHost:  2,
+		NICsPerHost:  2,
+		NICBps:       50 * Gbps,
+		LeafSpineBps: 50 * Gbps,
+	}
+}
+
+// LargeScaleConfig returns the paper's simulated cluster (§6.5): 768 GPUs,
+// 16 spines, 24 leaves, 4 hosts per leaf, 8 GPUs + 8 NICs per host, all
+// links 200 Gbps (2:1 oversubscription).
+func LargeScaleConfig() ClosConfig {
+	return ClosConfig{
+		Spines:       16,
+		Leaves:       24,
+		HostsPerLeaf: 4,
+		GPUsPerHost:  8,
+		NICsPerHost:  8,
+		NICBps:       200 * Gbps,
+		LeafSpineBps: 200 * Gbps,
+	}
+}
+
+// RingConfig describes a ring of switches with one host per switch — the
+// Fig. 7 reconfiguration scenario.
+type RingConfig struct {
+	Switches     int
+	GPUsPerHost  int
+	NICsPerHost  int
+	NICBps       float64
+	SwitchBps    float64 // inter-switch ring link rate
+	IntraHostBps float64
+}
+
+// BuildSwitchRing constructs the ring-of-switches topology. LeafNodes holds
+// the switch nodes (one "rack" per switch); SpineNodes is empty.
+func BuildSwitchRing(cfg RingConfig) (*Cluster, error) {
+	if cfg.Switches < 3 {
+		return nil, fmt.Errorf("topo: switch ring needs >= 3 switches, got %d", cfg.Switches)
+	}
+	if cfg.GPUsPerHost < 1 || cfg.NICsPerHost < 1 || cfg.GPUsPerHost%cfg.NICsPerHost != 0 {
+		return nil, fmt.Errorf("topo: bad GPU/NIC config %d/%d", cfg.GPUsPerHost, cfg.NICsPerHost)
+	}
+	if cfg.NICBps <= 0 || cfg.SwitchBps <= 0 {
+		return nil, fmt.Errorf("topo: link rates must be positive")
+	}
+	c := &Cluster{Net: netsim.NewNetwork(), IntraHostBps: cfg.IntraHostBps}
+	if c.IntraHostBps <= 0 {
+		c.IntraHostBps = 200 * Gbps
+	}
+	gpusPerNIC := cfg.GPUsPerHost / cfg.NICsPerHost
+	for sw := 0; sw < cfg.Switches; sw++ {
+		node := c.Net.AddNode(fmt.Sprintf("sw%d", sw))
+		c.LeafNodes = append(c.LeafNodes, node)
+	}
+	for sw := 0; sw < cfg.Switches; sw++ {
+		next := (sw + 1) % cfg.Switches
+		c.Net.AddDuplex(c.LeafNodes[sw], c.LeafNodes[next], cfg.SwitchBps)
+	}
+	for sw := 0; sw < cfg.Switches; sw++ {
+		hid := HostID(len(c.Hosts))
+		host := Host{ID: hid, Name: fmt.Sprintf("h%d", sw), Rack: RackID(sw)}
+		for n := 0; n < cfg.NICsPerHost; n++ {
+			node := c.Net.AddNode(fmt.Sprintf("%s-nic%d", host.Name, n))
+			c.Net.AddDuplex(node, c.LeafNodes[sw], cfg.NICBps)
+			nid := NICID(len(c.NICs))
+			c.NICs = append(c.NICs, NIC{ID: nid, Host: hid, Index: n, Node: node, Rate: cfg.NICBps})
+			host.NICs = append(host.NICs, nid)
+		}
+		for g := 0; g < cfg.GPUsPerHost; g++ {
+			gid := GPUID(len(c.GPUs))
+			c.GPUs = append(c.GPUs, GPU{ID: gid, Host: hid, Index: g, NIC: host.NICs[g/gpusPerNIC]})
+			host.GPUs = append(host.GPUs, gid)
+		}
+		c.Hosts = append(c.Hosts, host)
+	}
+	return c, nil
+}
+
+// RingLinkBetween returns the directed inter-switch link from switch a to
+// switch b in a switch-ring cluster (they must be adjacent). It is used to
+// place the Fig. 7 background flow on a specific ring segment.
+func (c *Cluster) RingLinkBetween(a, b RackID) (netsim.LinkID, error) {
+	na, nb := c.LeafNodes[a], c.LeafNodes[b]
+	for i := 0; i < c.Net.NumLinks(); i++ {
+		l := c.Net.Link(netsim.LinkID(i))
+		if l.From == na && l.To == nb {
+			return l.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("topo: no ring link %d -> %d", a, b)
+}

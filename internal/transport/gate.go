@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"mccs/internal/sim"
+)
+
+// Slot is one allowed transmission interval within a schedule period.
+type Slot struct {
+	Offset time.Duration
+	Length time.Duration
+}
+
+// Schedule is a periodic time-window traffic schedule (the CASSINI-style
+// TS policy, paper §4.3 example #4): traffic may start only inside an
+// allowed slot. An empty slot list means "always allowed".
+type Schedule struct {
+	Period time.Duration
+	Slots  []Slot
+}
+
+// Validate reports malformed schedules.
+func (sc *Schedule) Validate() error {
+	if len(sc.Slots) == 0 {
+		return nil
+	}
+	if sc.Period <= 0 {
+		return fmt.Errorf("transport: schedule with slots needs positive period")
+	}
+	for i, sl := range sc.Slots {
+		if sl.Offset < 0 || sl.Length <= 0 || sl.Offset+sl.Length > sc.Period {
+			return fmt.Errorf("transport: slot %d [%v,+%v) outside period %v", i, sl.Offset, sl.Length, sc.Period)
+		}
+		if i > 0 && sl.Offset < sc.Slots[i-1].Offset+sc.Slots[i-1].Length {
+			return fmt.Errorf("transport: slot %d overlaps or is unsorted", i)
+		}
+	}
+	return nil
+}
+
+// NextAllowed returns the earliest time >= now at which transmission may
+// start under the schedule.
+func (sc *Schedule) NextAllowed(now sim.Time) sim.Time {
+	if len(sc.Slots) == 0 {
+		return now
+	}
+	period := sc.Period
+	phase := time.Duration(now) % period
+	base := now.Add(-phase) // start of the current period
+	for _, sl := range sc.Slots {
+		if phase < sl.Offset {
+			return base.Add(sl.Offset)
+		}
+		if phase < sl.Offset+sl.Length {
+			return now
+		}
+	}
+	return base.Add(period + sc.Slots[0].Offset)
+}
+
+// Gate applies a Schedule to an application's traffic on one host. The
+// zero value (or a nil pointer) admits everything immediately.
+type Gate struct {
+	sched Schedule
+}
+
+// SetSchedule installs a schedule (replacing any previous one).
+func (g *Gate) SetSchedule(sc Schedule) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	g.sched = sc
+	return nil
+}
+
+// Clear removes the schedule, admitting all traffic.
+func (g *Gate) Clear() { g.sched = Schedule{} }
+
+// NextAllowed returns when traffic arriving at now may start.
+func (g *Gate) NextAllowed(now sim.Time) sim.Time {
+	if g == nil {
+		return now
+	}
+	return g.sched.NextAllowed(now)
+}

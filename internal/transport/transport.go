@@ -1,0 +1,316 @@
+// Package transport implements the MCCS transport engine (paper §4.2): the
+// component that moves collective bytes between hosts. It owns the
+// mechanisms the provider's policies rely on — explicit route pinning per
+// connection (the RoCEv2 UDP-source-port / policy-based-routing trick,
+// §5 "Management") and time-window traffic gating (TS).
+//
+// A Conn is one directed point-to-point connection between two ranks'
+// NICs, the analogue of an RDMA queue pair. Sends are asynchronous: bytes
+// become a fabric flow (or an intra-host transfer) and a Delivery is
+// pushed to the receiver when the transfer and its latency complete.
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"mccs/internal/netsim"
+	"mccs/internal/sim"
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+)
+
+// Config sets the transport cost model.
+type Config struct {
+	// NetLatency is the fixed per-message inter-host latency (RDMA op
+	// issue + propagation), added after the flow completes.
+	NetLatency time.Duration
+	// IntraLatency is the per-message latency of intra-host channels.
+	IntraLatency time.Duration
+	// IntraBps is the intra-host channel bandwidth (shared host memory /
+	// NVLink class), bytes per second.
+	IntraBps float64
+	// UnserializedSends disables the per-connection FIFO and lets every
+	// message enter the fabric immediately (processor sharing). Kept
+	// only as an ablation: without serialization, concurrent slices of
+	// one connection complete in a cluster and a phase-skewed ring
+	// degenerates into a wave (see BenchmarkAblationConnSerialization).
+	UnserializedSends bool
+}
+
+// DefaultConfig mirrors the paper's testbed datapath constants.
+func DefaultConfig(intraBps float64) Config {
+	return Config{
+		NetLatency:   6 * time.Microsecond,
+		IntraLatency: 3 * time.Microsecond,
+		IntraBps:     intraBps,
+	}
+}
+
+// Delivery is one received message.
+type Delivery struct {
+	Bytes int64
+	// Data is a snapshot of the sent elements when the sender's buffer
+	// was backed; nil otherwise. Correctness tests run backed, the
+	// performance harness unbacked.
+	Data []float32
+	// Seq is the sender-side message sequence number on this Conn.
+	Seq uint64
+}
+
+// Engine is the per-host transport engine. It is shared by all
+// applications on the host; per-application traffic gates enforce TS
+// schedules, which is exactly the enforcement point the paper describes
+// ("transport engines in MCCS service then allow other applications to
+// send traffic only when the prioritized application is idle").
+type Engine struct {
+	s       *sim.Scheduler
+	cluster *topo.Cluster
+	fabric  *netsim.Fabric
+	cfg     Config
+	host    topo.HostID
+
+	gates map[spec.AppID]*Gate
+
+	// stats
+	messagesSent int64
+	bytesSent    int64
+}
+
+// NewEngine creates the transport engine for one host.
+func NewEngine(s *sim.Scheduler, cluster *topo.Cluster, fabric *netsim.Fabric, host topo.HostID, cfg Config) *Engine {
+	if cfg.IntraBps <= 0 {
+		cfg.IntraBps = cluster.IntraHostBps
+	}
+	return &Engine{
+		s: s, cluster: cluster, fabric: fabric, cfg: cfg, host: host,
+		gates: make(map[spec.AppID]*Gate),
+	}
+}
+
+// Gate returns the traffic gate for an app, creating it on first use.
+func (e *Engine) Gate(app spec.AppID) *Gate {
+	g, ok := e.gates[app]
+	if !ok {
+		g = &Gate{}
+		e.gates[app] = g
+	}
+	return g
+}
+
+// MessagesSent and BytesSent expose engine counters for tests and traces.
+func (e *Engine) MessagesSent() int64 { return e.messagesSent }
+func (e *Engine) BytesSent() int64    { return e.bytesSent }
+
+// NewFlowGroup returns a fresh coflow group on the engine's fabric; the
+// proxy engine couples the flows of one ring step with it.
+func (e *Engine) NewFlowGroup() *netsim.Group { return e.fabric.NewGroup() }
+
+// Conn is one directed connection. It is created by the sending host's
+// engine; the receiving proxy holds the same object and calls Recv.
+type Conn struct {
+	eng  *Engine
+	app  spec.AppID
+	src  topo.NICID
+	dst  topo.NICID
+	intr bool // both endpoints on one host
+
+	// route is the pinned fabric path; nil means ECMP by label.
+	route []netsim.LinkID
+	label uint64
+
+	inbox   *sim.Queue[Delivery]
+	sendSeq uint64
+	closed  bool
+
+	// sendQ serializes messages: a real connection (RDMA QP) transmits
+	// one message at a time in order. Without this, concurrent slices
+	// of one connection would processor-share the path and complete in
+	// a cluster, destroying the slice-level pipelining the collective
+	// engine depends on.
+	sendQ    []pendingSend
+	inFlight bool
+}
+
+type pendingSend struct {
+	bytes int64
+	data  []float32
+	seq   uint64
+	group *netsim.Group
+}
+
+// Connect creates a connection from srcNIC (on this engine's host) to
+// dstNIC. routeIdx picks among the equal-cost paths (spec.RouteECMP to let
+// ECMP hash by label). The connection is intra-host if both NICs share a
+// host; its traffic then never touches the fabric.
+func (e *Engine) Connect(app spec.AppID, src, dst topo.NICID, routeIdx int, label uint64) (*Conn, error) {
+	if e.cluster.NICs[src].Host != e.host {
+		return nil, fmt.Errorf("transport: source NIC %d is not on host %d", src, e.host)
+	}
+	c := &Conn{
+		eng: e, app: app, src: src, dst: dst,
+		intr:  e.cluster.NICs[src].Host == e.cluster.NICs[dst].Host,
+		label: label,
+		inbox: sim.NewQueue[Delivery](),
+	}
+	if !c.intr {
+		if err := c.setRoute(routeIdx); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Conn) setRoute(routeIdx int) error {
+	if routeIdx == spec.RouteECMP {
+		c.route = nil
+		return nil
+	}
+	paths := c.eng.cluster.PathsBetweenNICs(c.src, c.dst)
+	if len(paths) == 0 {
+		return fmt.Errorf("transport: no path between NICs %d and %d", c.src, c.dst)
+	}
+	c.route = paths[routeIdx%len(paths)]
+	return nil
+}
+
+// SetRoute re-pins the connection to another equal-cost path. Future sends
+// use the new route; in-flight flows are unaffected. This is the immediate
+// (non-barrier) route update used by FFA/PFA pushes.
+func (c *Conn) SetRoute(routeIdx int) error {
+	if c.intr {
+		return nil
+	}
+	return c.setRoute(routeIdx)
+}
+
+// Intra reports whether this is an intra-host connection.
+func (c *Conn) Intra() bool { return c.intr }
+
+// CurrentPath returns the fabric links this connection's messages traverse
+// right now: the pinned route, or the deterministic ECMP choice for its
+// label. Intra-host connections return nil. The congestion watcher uses
+// this to map observed link load back to communicator connections.
+func (c *Conn) CurrentPath() []netsim.LinkID {
+	if c.intr {
+		return nil
+	}
+	if c.route != nil {
+		return c.route
+	}
+	src := c.eng.cluster.NICNode(c.src)
+	dst := c.eng.cluster.NICNode(c.dst)
+	paths := c.eng.cluster.Net.PathsBetween(src, dst)
+	if len(paths) == 0 {
+		return nil
+	}
+	return paths[netsim.ECMPIndex(src, dst, c.label, len(paths))]
+}
+
+// PathCount returns the number of equal-cost paths available to this
+// connection (1 for intra-host).
+func (c *Conn) PathCount() int {
+	if c.intr {
+		return 1
+	}
+	return len(c.eng.cluster.PathsBetweenNICs(c.src, c.dst))
+}
+
+// Close tears the connection down: further sends panic. Deliveries already
+// in flight still arrive, so a receiver draining its inbox cannot deadlock
+// on a racing teardown (the reconfiguration protocol additionally barriers
+// before closing, so in practice nothing is in flight here).
+func (c *Conn) Close() { c.closed = true }
+
+// Send transmits bytes (with optional data snapshot) to the peer. It is
+// asynchronous; the receiver's Recv unblocks once the transfer completes.
+// group optionally couples the underlying fabric flow with the other flows
+// of the same ring step (lock-step pacing).
+func (c *Conn) Send(bytes int64, data []float32, group *netsim.Group) {
+	if c.closed {
+		panic("transport: send on closed connection")
+	}
+	if bytes <= 0 {
+		panic(fmt.Sprintf("transport: send of %d bytes", bytes))
+	}
+	c.sendSeq++
+	c.eng.messagesSent++
+	c.eng.bytesSent += bytes
+	c.sendQ = append(c.sendQ, pendingSend{bytes: bytes, data: data, seq: c.sendSeq, group: group})
+	if c.eng.cfg.UnserializedSends {
+		// Ablation mode: transmit everything concurrently.
+		for len(c.sendQ) > 0 {
+			c.startNext()
+		}
+		return
+	}
+	if !c.inFlight {
+		c.startNext()
+	}
+}
+
+// startNext transmits the head of the send queue, respecting the app's
+// TS traffic gate at each message start.
+func (c *Conn) startNext() {
+	if len(c.sendQ) == 0 {
+		c.inFlight = false
+		return
+	}
+	c.inFlight = true
+	msg := c.sendQ[0]
+	c.sendQ = c.sendQ[1:]
+	e := c.eng
+
+	finish := func() {
+		e.s.After(e.cfg.NetLatency, func() {
+			c.inbox.Push(e.s, Delivery{Bytes: msg.bytes, Data: msg.data, Seq: msg.seq})
+		})
+		c.startNext()
+	}
+
+	start := func() {
+		if c.intr {
+			// Intra-host channel: fixed bandwidth, no fabric contention
+			// (host shared-memory / NVLink is private to the host).
+			dur := time.Duration(float64(msg.bytes) / e.cfg.IntraBps * float64(time.Second))
+			e.s.After(dur, func() {
+				e.s.After(e.cfg.IntraLatency, func() {
+					c.inbox.Push(e.s, Delivery{Bytes: msg.bytes, Data: msg.data, Seq: msg.seq})
+				})
+				c.startNext()
+			})
+			return
+		}
+		fl := e.fabric.StartFlow(netsim.FlowOpts{
+			Src:   e.cluster.NICNode(c.src),
+			Dst:   e.cluster.NICNode(c.dst),
+			Bytes: float64(msg.bytes),
+			Route: c.route,
+			// The label is per-connection, not per-message: an RDMA
+			// connection keeps one 5-tuple, so ECMP pins all its
+			// messages to one path. That stickiness is what makes
+			// collisions persistent — and what MCCS route pinning fixes.
+			Label: c.label,
+			Group: msg.group,
+		})
+		fl.OnDone(finish)
+	}
+
+	// TS gating: traffic may only start inside the app's allowed windows.
+	now := e.s.Now()
+	at := e.Gate(c.app).NextAllowed(now)
+	if at <= now {
+		start()
+	} else {
+		e.s.At(at, start)
+	}
+}
+
+// Recv blocks until the next delivery on the connection.
+func (c *Conn) Recv(p *sim.Proc) Delivery {
+	return c.inbox.Pop(p)
+}
+
+// Pending returns the number of undelivered messages queued on the
+// connection.
+func (c *Conn) Pending() int { return c.inbox.Len() }

@@ -1,0 +1,330 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mccs/internal/netsim"
+	"mccs/internal/sim"
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+)
+
+const gbps = 125e6
+
+// rig builds a testbed cluster with fabric and a transport engine per
+// host.
+type rig struct {
+	s       *sim.Scheduler
+	cluster *topo.Cluster
+	fabric  *netsim.Fabric
+	engines []*Engine
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	c, err := topo.BuildClos(topo.TestbedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	fb := netsim.NewFabric(s, c.Net)
+	r := &rig{s: s, cluster: c, fabric: fb}
+	for h := range c.Hosts {
+		r.engines = append(r.engines, NewEngine(s, c, fb, topo.HostID(h), DefaultConfig(c.IntraHostBps)))
+	}
+	return r
+}
+
+func TestInterHostSendDelivers(t *testing.T) {
+	r := newRig(t)
+	src := r.cluster.Hosts[0].NICs[0]
+	dst := r.cluster.Hosts[2].NICs[0] // cross-rack
+	var d Delivery
+	var at sim.Time
+	r.s.Go("recv", func(p *sim.Proc) {
+		conn, err := r.engines[0].Connect("appA", src, dst, 0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		conn.Send(50e6, []float32{1, 2, 3}, nil) // 50 MB at 50 Gbps = 8 ms
+		d = conn.Recv(p)
+		at = p.Now()
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Bytes != 50e6 || len(d.Data) != 3 || d.Seq != 1 {
+		t.Errorf("delivery = %+v", d)
+	}
+	want := 8 * time.Millisecond
+	if diff := at.Sub(sim.Time(want)); diff < 0 || diff > 100*time.Microsecond {
+		t.Errorf("delivered at %v, want ~%v + latency", at, want)
+	}
+}
+
+func TestIntraHostSendBypassesFabric(t *testing.T) {
+	r := newRig(t)
+	h := r.cluster.Hosts[0]
+	var at sim.Time
+	r.s.Go("recv", func(p *sim.Proc) {
+		conn, err := r.engines[0].Connect("appA", h.NICs[0], h.NICs[1], spec.RouteECMP, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !conn.Intra() {
+			t.Error("same-host conn not intra")
+		}
+		conn.Send(25e6, nil, nil) // 25 MB at IntraHostBps (25 GB/s) = 1 ms
+		conn.Recv(p)
+		at = p.Now()
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.fabric.ActiveFlows() != 0 || r.fabric.Recomputes != 0 {
+		t.Error("intra-host send touched the fabric")
+	}
+	want := time.Duration(25e6 / r.cluster.IntraHostBps * float64(time.Second))
+	if diff := at.Sub(sim.Time(want)); diff < 0 || diff > 100*time.Microsecond {
+		t.Errorf("delivered at %v, want ~%v", at, want)
+	}
+}
+
+func TestConnectValidatesSourceHost(t *testing.T) {
+	r := newRig(t)
+	src := r.cluster.Hosts[1].NICs[0]
+	dst := r.cluster.Hosts[2].NICs[0]
+	if _, err := r.engines[0].Connect("appA", src, dst, 0, 1); err == nil {
+		t.Error("engine 0 accepted a source NIC on host 1")
+	}
+}
+
+func TestRoutePinningAvoidsCollision(t *testing.T) {
+	// Two cross-rack connections pinned to distinct spines each get the
+	// full 50 Gbps; pinned to the same spine they halve.
+	r := newRig(t)
+	h0, h2 := r.cluster.Hosts[0], r.cluster.Hosts[2]
+	var distinctDur, sharedDur time.Duration
+	r.s.Go("driver", func(p *sim.Proc) {
+		c1, _ := r.engines[0].Connect("appA", h0.NICs[0], h2.NICs[0], 0, 1)
+		c2, _ := r.engines[0].Connect("appB", h0.NICs[1], h2.NICs[1], 1, 2)
+		start := p.Now()
+		c1.Send(50e6, nil, nil)
+		c2.Send(50e6, nil, nil)
+		c1.Recv(p)
+		c2.Recv(p)
+		distinctDur = p.Now().Sub(start)
+
+		// Re-pin both to spine 0: they now share one 50G path.
+		if err := c2.SetRoute(0); err != nil {
+			t.Error(err)
+		}
+		start = p.Now()
+		c1.Send(50e6, nil, nil)
+		c2.Send(50e6, nil, nil)
+		c1.Recv(p)
+		c2.Recv(p)
+		sharedDur = p.Now().Sub(start)
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if distinctDur > 9*time.Millisecond {
+		t.Errorf("distinct-path transfers took %v, want ~8ms", distinctDur)
+	}
+	if sharedDur < 15*time.Millisecond {
+		t.Errorf("shared-path transfers took %v, want ~16ms", sharedDur)
+	}
+}
+
+func TestECMPPathIsStablePerConn(t *testing.T) {
+	// Messages on one ECMP connection always hash to the same path, so
+	// two sends serialize exactly as they would on a pinned path.
+	r := newRig(t)
+	h0, h2 := r.cluster.Hosts[0], r.cluster.Hosts[2]
+	var dur time.Duration
+	r.s.Go("driver", func(p *sim.Proc) {
+		c, _ := r.engines[0].Connect("appA", h0.NICs[0], h2.NICs[0], spec.RouteECMP, 7)
+		start := p.Now()
+		c.Send(25e6, nil, nil)
+		c.Send(25e6, nil, nil)
+		c.Recv(p)
+		c.Recv(p)
+		dur = p.Now().Sub(start)
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two concurrent 25 MB messages sharing one 50G path: 8 ms total.
+	if dur < 7*time.Millisecond || dur > 9*time.Millisecond {
+		t.Errorf("ECMP same-conn transfers took %v, want ~8ms", dur)
+	}
+}
+
+func TestDeliveryOrderFIFO(t *testing.T) {
+	r := newRig(t)
+	h0, h1 := r.cluster.Hosts[0], r.cluster.Hosts[1]
+	var seqs []uint64
+	r.s.Go("driver", func(p *sim.Proc) {
+		c, _ := r.engines[0].Connect("appA", h0.NICs[0], h1.NICs[0], 0, 1)
+		for i := 0; i < 5; i++ {
+			c.Send(1e6, nil, nil)
+		}
+		for i := 0; i < 5; i++ {
+			seqs = append(seqs, c.Recv(p).Seq)
+		}
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("seqs = %v, want 1..5 in order", seqs)
+		}
+	}
+}
+
+func TestScheduleNextAllowed(t *testing.T) {
+	sc := Schedule{
+		Period: 10 * time.Millisecond,
+		Slots:  []Slot{{Offset: 2 * time.Millisecond, Length: 3 * time.Millisecond}},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ now, want time.Duration }{
+		{0, 2 * time.Millisecond},                            // before slot: wait
+		{2 * time.Millisecond, 2 * time.Millisecond},         // at slot start
+		{4 * time.Millisecond, 4 * time.Millisecond},         // inside slot
+		{5 * time.Millisecond, 12 * time.Millisecond},        // at slot end: next period
+		{9 * time.Millisecond, 12 * time.Millisecond},        // after slot
+		{12500 * time.Microsecond, 12500 * time.Microsecond}, // next period inside
+	}
+	for _, tc := range cases {
+		if got := sc.NextAllowed(sim.Time(tc.now)); got != sim.Time(tc.want) {
+			t.Errorf("NextAllowed(%v) = %v, want %v", tc.now, got, tc.want)
+		}
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	bad := []Schedule{
+		{Period: 0, Slots: []Slot{{0, time.Millisecond}}},
+		{Period: time.Millisecond, Slots: []Slot{{0, 2 * time.Millisecond}}},
+		{Period: 10 * time.Millisecond, Slots: []Slot{{5 * time.Millisecond, time.Millisecond}, {4 * time.Millisecond, time.Millisecond}}},
+		{Period: 10 * time.Millisecond, Slots: []Slot{{0, 0}}},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("schedule %d accepted", i)
+		}
+	}
+	if err := (&Schedule{}).Validate(); err != nil {
+		t.Errorf("empty schedule rejected: %v", err)
+	}
+}
+
+func TestGateDelaysTraffic(t *testing.T) {
+	r := newRig(t)
+	h0, h1 := r.cluster.Hosts[0], r.cluster.Hosts[1]
+	// App B may only send in [5ms,10ms) of each 10ms period.
+	err := r.engines[0].Gate("appB").SetSchedule(Schedule{
+		Period: 10 * time.Millisecond,
+		Slots:  []Slot{{Offset: 5 * time.Millisecond, Length: 5 * time.Millisecond}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var at sim.Time
+	r.s.Go("driver", func(p *sim.Proc) {
+		c, _ := r.engines[0].Connect("appB", h0.NICs[0], h1.NICs[0], 0, 1)
+		c.Send(1e5, nil, nil) // tiny: dominated by gating delay
+		c.Recv(p)
+		at = p.Now()
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at < sim.Time(5*time.Millisecond) {
+		t.Errorf("gated send delivered at %v, before the 5ms window opened", at)
+	}
+	if at > sim.Time(6*time.Millisecond) {
+		t.Errorf("gated send delivered at %v, long after window open", at)
+	}
+}
+
+func TestGateClear(t *testing.T) {
+	g := &Gate{}
+	if err := g.SetSchedule(Schedule{Period: time.Second, Slots: []Slot{{500 * time.Millisecond, 100 * time.Millisecond}}}); err != nil {
+		t.Fatal(err)
+	}
+	if g.NextAllowed(0) == 0 {
+		t.Error("schedule not applied")
+	}
+	g.Clear()
+	if g.NextAllowed(0) != 0 {
+		t.Error("Clear did not admit traffic")
+	}
+	var nilGate *Gate
+	if nilGate.NextAllowed(5) != 5 {
+		t.Error("nil gate should admit immediately")
+	}
+}
+
+func TestCloseStopsNewSendsButDeliversInFlight(t *testing.T) {
+	r := newRig(t)
+	h0, h1 := r.cluster.Hosts[0], r.cluster.Hosts[1]
+	r.s.Go("driver", func(p *sim.Proc) {
+		c, _ := r.engines[0].Connect("appA", h0.NICs[0], h1.NICs[0], 0, 1)
+		c.Send(1e6, nil, nil)
+		c.Close()
+		// The in-flight delivery still arrives (no teardown deadlock).
+		c.Recv(p)
+		defer func() {
+			if recover() == nil {
+				t.Error("send on closed conn did not panic")
+			}
+		}()
+		c.Send(1e6, nil, nil)
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextAllowed is monotone in now, always >= now, and always
+// lands inside an allowed slot.
+func TestQuickScheduleInvariants(t *testing.T) {
+	f := func(nowRaw uint32, offRaw, lenRaw uint16) bool {
+		period := 10 * time.Millisecond
+		off := time.Duration(offRaw) % (period - time.Millisecond)
+		length := time.Duration(lenRaw)%(period-off-1) + 1
+		sc := Schedule{Period: period, Slots: []Slot{{Offset: off, Length: length}}}
+		if sc.Validate() != nil {
+			return true // malformed by construction edge: skip
+		}
+		now := sim.Time(time.Duration(nowRaw) * time.Microsecond)
+		got := sc.NextAllowed(now)
+		if got < now {
+			return false
+		}
+		// Result must be inside a slot.
+		phase := time.Duration(got) % period
+		if phase < off || phase >= off+length {
+			return false
+		}
+		// Monotonicity.
+		later := now.Add(37 * time.Microsecond)
+		if sc.NextAllowed(later) < got && later <= got {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"mccs/internal/collective"
+	"mccs/internal/gpusim"
+	"mccs/internal/mccsd"
+	"mccs/internal/sim"
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+)
+
+// issueCollective dispatches one trace collective onto the communicator
+// (in place on the job's working buffer).
+func issueCollective(p *sim.Proc, comm *mccsd.Comm, ph Phase, buf *gpusim.Buffer) (*mccsd.OpHandle, error) {
+	count := ph.Bytes / 4
+	switch ph.Op {
+	case collective.AllReduce:
+		return comm.AllReduce(p, nil, buf, count, nil)
+	case collective.ReduceScatter:
+		return comm.ReduceScatter(p, nil, buf, count, nil)
+	case collective.Broadcast:
+		return comm.Broadcast(p, buf, count, 0, nil)
+	case collective.Reduce:
+		return comm.Reduce(p, buf, count, 0, nil)
+	default:
+		return nil, fmt.Errorf("workload: unsupported trace collective %v", ph.Op)
+	}
+}
+
+// This file is the traffic generator (paper §6.1: "a traffic generator
+// with profile traces ... implemented with Rust using the MCCS library"):
+// it replays a Trace against the MCCS service as a multi-rank tenant and
+// measures iteration times and the Fig. 2 breakdown.
+
+// RunConfig launches one training job.
+type RunConfig struct {
+	Dep *mccsd.Deployment
+	App spec.AppID
+	// Key is the rendezvous key (unique per communicator).
+	Key        string
+	GPUs       []topo.GPUID
+	Trace      Trace
+	Iterations int
+	// StartAt optionally delays the job's start (dynamic arrivals).
+	StartAt sim.Time
+	// OnIteration, when non-nil, is invoked by rank 0 at the end of
+	// every iteration (timeline experiments consume this instead of
+	// waiting for job completion).
+	OnIteration func(iter int, end sim.Time, dur time.Duration)
+}
+
+// Breakdown is the Fig. 2 decomposition of an iteration: fractions of
+// wall time spent in exposed compute, host-device copies, exposed
+// (non-overlapped) communication and idle stalls. Fractions sum to ~1.
+type Breakdown struct {
+	Compute float64
+	Memcpy  float64
+	Comm    float64
+	Idle    float64
+}
+
+// Result reports a completed job.
+type Result struct {
+	App        spec.AppID
+	CommID     spec.CommID
+	Started    sim.Time
+	Finished   sim.Time
+	IterTimes  []time.Duration
+	IterEnds   []sim.Time
+	Breakdown  Breakdown
+	Iterations int
+	Err        error
+}
+
+// JCT returns the job completion time.
+func (r *Result) JCT() time.Duration { return r.Finished.Sub(r.Started) }
+
+// Launch spawns the job's rank processes and returns a future resolved at
+// completion. Iteration metrics are taken at rank 0.
+func Launch(cfg RunConfig) *sim.Future[*Result] {
+	fut := sim.NewFuture[*Result]()
+	if err := cfg.Trace.Validate(); err != nil {
+		cfg.Dep.S.After(0, func() { fut.Set(cfg.Dep.S, &Result{App: cfg.App, Err: err}) })
+		return fut
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1
+	}
+	n := len(cfg.GPUs)
+	res := &Result{App: cfg.App, Iterations: cfg.Iterations}
+	done := sim.NewLatch(n)
+	s := cfg.Dep.S
+
+	// Closer resolves the future when every rank finishes.
+	s.Go(fmt.Sprintf("job:%s:join", cfg.App), func(p *sim.Proc) {
+		done.Wait(p)
+		res.Finished = p.Now()
+		fut.Set(s, res)
+	})
+
+	for rank, gpu := range cfg.GPUs {
+		rank, gpu := rank, gpu
+		host := cfg.Dep.Cluster.HostOfGPU(gpu)
+		s.Go(fmt.Sprintf("job:%s:r%d", cfg.App, rank), func(p *sim.Proc) {
+			defer done.Done(s)
+			if cfg.StartAt > 0 {
+				p.SleepUntil(cfg.StartAt)
+			}
+			if rank == 0 {
+				res.Started = p.Now()
+			}
+			if err := runRank(p, cfg, rank, gpu, host, res); err != nil && res.Err == nil {
+				res.Err = err
+			}
+		})
+	}
+	return fut
+}
+
+func runRank(p *sim.Proc, cfg RunConfig, rank int, gpu topo.GPUID, host topo.HostID, res *Result) error {
+	f := cfg.Dep.Service(host).Frontend(cfg.App)
+	// One buffer sized for the largest collective of the trace.
+	var maxBytes int64 = 4
+	for _, ph := range cfg.Trace.Phases {
+		if ph.Kind == Collective && ph.Bytes > maxBytes {
+			maxBytes = ph.Bytes
+		}
+	}
+	buf, err := f.MemAlloc(p, gpu, maxBytes, false)
+	if err != nil {
+		return err
+	}
+	comm, err := f.CommInitRank(p, cfg.Key, len(cfg.GPUs), rank, gpu)
+	if err != nil {
+		return err
+	}
+	if rank == 0 {
+		res.CommID = comm.ID()
+	}
+
+	var busyCompute, busyMemcpy, busyIdle, busyComm time.Duration
+	for it := 0; it < cfg.Iterations; it++ {
+		iterStart := p.Now()
+		var overlapped []*mccsd.OpHandle
+		for _, ph := range cfg.Trace.Phases {
+			switch ph.Kind {
+			case Compute:
+				p.Sleep(ph.Duration)
+				busyCompute += ph.Duration
+			case Memcpy:
+				p.Sleep(ph.Duration)
+				busyMemcpy += ph.Duration
+			case Idle:
+				p.Sleep(ph.Duration)
+				busyIdle += ph.Duration
+			case Collective:
+				h, err := issueCollective(p, comm, ph, buf)
+				if err != nil {
+					return err
+				}
+				if ph.Overlap {
+					overlapped = append(overlapped, h)
+				} else {
+					w := p.Now()
+					h.Wait(p)
+					busyComm += time.Duration(p.Now().Sub(w))
+				}
+			}
+		}
+		// Join overlapped gradient buckets; only the wait beyond the
+		// compute tail is exposed communication.
+		w := p.Now()
+		for _, h := range overlapped {
+			h.Wait(p)
+		}
+		busyComm += time.Duration(p.Now().Sub(w))
+		if rank == 0 {
+			d := time.Duration(p.Now().Sub(iterStart))
+			res.IterTimes = append(res.IterTimes, d)
+			res.IterEnds = append(res.IterEnds, p.Now())
+			if cfg.OnIteration != nil {
+				cfg.OnIteration(it, p.Now(), d)
+			}
+		}
+	}
+	if rank == 0 {
+		total := busyCompute + busyMemcpy + busyIdle + busyComm
+		if total > 0 {
+			res.Breakdown = Breakdown{
+				Compute: float64(busyCompute) / float64(total),
+				Memcpy:  float64(busyMemcpy) / float64(total),
+				Idle:    float64(busyIdle) / float64(total),
+				Comm:    float64(busyComm) / float64(total),
+			}
+		}
+	}
+	return nil
+}
