@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test vet race check chaos bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: everything must build, vet clean, and pass the
+# full test suite twice — once plain, once under the race detector.
+check: build vet test race
+
+# chaos runs the seeded chaos sweep on its own (it is also part of
+# `test`); useful when iterating on the harness.
+chaos:
+	$(GO) test ./internal/chaos/ -v -run 'TestChaosSweep|TestChaosCatchesWeakenedProtocol'
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .

@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mccs/internal/harness"
+	"mccs/internal/netsim"
+	"mccs/internal/policy"
+	"mccs/internal/sim"
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+)
+
+// installInjectors schedules every fault the scenario asks for. All
+// injection is derived from the inj PRNG stream at install time (so the
+// schedule of faults is fixed by the seed before the simulation starts)
+// and every fault is time-bounded: capacities are restored, slowdowns
+// cleared, external flows canceled, and the watcher stopped, so that the
+// only thing that can keep the simulation from draining is a genuine bug.
+func installInjectors(env *harness.Env, sc Scenario, inj *rand.Rand, gpus []topo.GPUID) {
+	if sc.LinkFlaps > 0 {
+		injectLinkFlaps(env, sc, inj)
+	}
+	if sc.Stragglers > 0 {
+		injectStragglers(env, sc, inj, gpus)
+	}
+	if sc.SendDelays {
+		injectSendDelays(env, inj, gpus)
+	}
+	if sc.Reconfigs > 0 {
+		injectReconfigStorm(env, sc, inj)
+	}
+	if sc.Congestion {
+		injectCongestion(env, sc, inj)
+	}
+}
+
+// injectLinkFlaps degrades random fabric links to a fraction of their
+// capacity (including full blackouts) for a bounded window. Restores
+// always go back to the capacity snapshotted before any flap, so
+// overlapping flaps on the same link cannot strand it degraded.
+func injectLinkFlaps(env *harness.Env, sc Scenario, inj *rand.Rand) {
+	net := env.Cluster.Net
+	orig := make([]float64, net.NumLinks())
+	for i := range orig {
+		orig[i] = net.Link(netsim.LinkID(i)).Capacity
+	}
+	fracs := []float64{0, 0.05, 0.3}
+	for i := 0; i < sc.LinkFlaps; i++ {
+		l := netsim.LinkID(inj.Intn(net.NumLinks()))
+		at := randDuration(inj, sc.Horizon*7/10)
+		dur := sc.Horizon/40 + randDuration(inj, sc.Horizon/8)
+		frac := fracs[inj.Intn(len(fracs))]
+		env.S.At(sim.Time(at), func() {
+			env.Fabric.SetLinkCapacity(l, orig[l]*frac)
+		})
+		env.S.At(sim.Time(at+dur), func() {
+			env.Fabric.SetLinkCapacity(l, orig[l])
+		})
+	}
+}
+
+// injectStragglers slows random participating GPUs for a bounded window,
+// modeling thermal throttling or a noisy neighbor on the host.
+func injectStragglers(env *harness.Env, sc Scenario, inj *rand.Rand, gpus []topo.GPUID) {
+	for i := 0; i < sc.Stragglers; i++ {
+		dev := env.Deployment.Device(gpus[inj.Intn(len(gpus))])
+		at := randDuration(inj, sc.Horizon*7/10)
+		dur := sc.Horizon/40 + randDuration(inj, sc.Horizon/8)
+		factor := 2 + inj.Float64()*14
+		env.S.At(sim.Time(at), func() { dev.SetSlowdown(factor) })
+		env.S.At(sim.Time(at+dur), func() { dev.SetSlowdown(1) })
+	}
+}
+
+// injectSendDelays installs a transport send perturbation on every
+// participating host: a random quarter of sends are held back a few
+// microseconds, shaking up message arrival order at the receivers. The
+// perturbation PRNG is consumed in scheduler order, so it is as
+// deterministic as the schedule itself.
+func injectSendDelays(env *harness.Env, inj *rand.Rand, gpus []topo.GPUID) {
+	prng := rand.New(rand.NewSource(inj.Int63()))
+	seen := make(map[topo.HostID]bool)
+	for _, g := range gpus {
+		h := env.Cluster.HostOfGPU(g)
+		if seen[h] {
+			continue
+		}
+		seen[h] = true
+		env.Deployment.Engine(h).SetSendPerturb(func(bytes int64) time.Duration {
+			if prng.Intn(4) == 0 {
+				return time.Duration(1+prng.Intn(30)) * time.Microsecond
+			}
+			return 0
+		})
+	}
+}
+
+// injectReconfigStorm drives repeated strategy switches through the
+// management plane while collectives are in flight: random ring
+// permutations, random route pins, occasional tree thresholds, and
+// skewed per-rank delivery — the exact storm the Fig. 4 sequence-number
+// protocol exists to survive.
+func injectReconfigStorm(env *harness.Env, sc Scenario, inj *rand.Rand) {
+	type reconfig struct {
+		strat  spec.Strategy
+		delays []time.Duration
+		after  time.Duration
+	}
+	plan := make([]reconfig, sc.Reconfigs)
+	gap := sc.Horizon / time.Duration(sc.Reconfigs+1)
+	for i := range plan {
+		plan[i] = reconfig{
+			strat:  randomStrategy(inj, sc.Ranks),
+			delays: randomDelays(inj, sc.Ranks),
+			after:  randDuration(inj, 2*gap),
+		}
+	}
+	env.S.Go("chaos:storm", func(p *sim.Proc) {
+		dep := env.Deployment
+		// Wait for the communicator to come up; bounded so a rendezvous
+		// wedged by some other fault cannot livelock the run.
+		for i := 0; len(dep.View()) == 0; i++ {
+			if i > 4000 {
+				return
+			}
+			p.Sleep(20 * time.Microsecond)
+		}
+		id := dep.View()[0].ID
+		for _, rc := range plan {
+			p.Sleep(rc.after)
+			if _, err := dep.ReconfigureAsync(id, rc.strat, rc.delays); err != nil {
+				panic(fmt.Sprintf("chaos: reconfigure: %v", err))
+			}
+		}
+	})
+}
+
+// randomStrategy builds a valid but adversarial strategy: a random ring
+// permutation (sometimes two channels, the second reversed), random
+// route pins or ECMP, and occasionally tree collectives for small ops.
+func randomStrategy(inj *rand.Rand, n int) spec.Strategy {
+	order := inj.Perm(n)
+	st := spec.Strategy{Channels: []spec.ChannelSpec{{Order: order, Route: randomRoute(inj)}}}
+	if inj.Intn(3) == 0 {
+		rev := make([]int, n)
+		for i, r := range order {
+			rev[n-1-i] = r
+		}
+		st.Channels = append(st.Channels, spec.ChannelSpec{Order: rev, Route: randomRoute(inj)})
+	}
+	if inj.Intn(4) == 0 {
+		st.TreeThreshold = 2048
+	}
+	return st
+}
+
+// randomRoute picks an equal-cost path index or ECMP hashing.
+func randomRoute(inj *rand.Rand) int {
+	if inj.Intn(3) == 0 {
+		return spec.RouteECMP
+	}
+	return inj.Intn(4)
+}
+
+// randomDelays staggers per-rank reconfig delivery, modeling the
+// arbitrary network/processing skew of Fig. 4.
+func randomDelays(inj *rand.Rand, n int) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration(inj.Intn(250)) * time.Microsecond
+	}
+	return out
+}
+
+// injectCongestion starts an external strict-priority flow on a random
+// fabric-core link for a bounded window and runs the policy congestion
+// watcher against the deployment, so remediation (route re-pins, ring
+// reversals) happens concurrently with the tenant workload and any
+// reconfiguration storm.
+func injectCongestion(env *harness.Env, sc Scenario, inj *rand.Rand) {
+	net := env.Cluster.Net
+	var core []netsim.LinkID
+	sw := make(map[netsim.NodeID]bool)
+	for _, id := range env.Cluster.LeafNodes {
+		sw[id] = true
+	}
+	for _, id := range env.Cluster.SpineNodes {
+		sw[id] = true
+	}
+	for i := 0; i < net.NumLinks(); i++ {
+		l := net.Link(netsim.LinkID(i))
+		if sw[l.From] && sw[l.To] {
+			core = append(core, l.ID)
+		}
+	}
+	if len(core) == 0 {
+		return
+	}
+	l := core[inj.Intn(len(core))]
+	link := net.Link(l)
+	at := randDuration(inj, sc.Horizon/4)
+	dur := sc.Horizon / 2
+
+	var fl *netsim.Flow
+	env.S.At(sim.Time(at), func() {
+		fl = env.Fabric.StartFlow(netsim.FlowOpts{
+			Src: link.From, Dst: link.To, Route: []netsim.LinkID{l},
+			FixedRate: 0.75 * link.Capacity, External: true,
+		})
+	})
+	env.S.At(sim.Time(at+dur), func() {
+		if fl != nil {
+			env.Fabric.CancelFlow(fl)
+		}
+	})
+
+	w := policy.NewController(env.Deployment).NewCongestionWatcher()
+	w.Interval = 200 * time.Microsecond
+	w.Consecutive = 2
+	stop := &sim.Event{}
+	w.Start(stop)
+	env.S.At(sim.Time(sc.Horizon), func() { stop.Signal(env.S) })
+}
+
+// randDuration returns a uniform duration in [0, max).
+func randDuration(inj *rand.Rand, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(inj.Int63n(int64(max)))
+}

@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"mccs/internal/harness"
+	"mccs/internal/spec"
+)
+
+// ledger records every collective execution the proxies perform —
+// (communicator, rank, generation, sequence number) — via the proxy's
+// ExecObserver hook. After the run it certifies the Fig. 4 guarantee:
+// each sequence number executes exactly once per rank, on every rank,
+// and all ranks execute it under the same generation (ring view). A
+// mixed-generation execution means some rank ran an op on the old ring
+// while a peer ran the same op on the new one — exactly the corruption
+// the sequence-number barrier exists to prevent.
+type ledger struct {
+	gens map[execKey]int
+	errs []string
+}
+
+type execKey struct {
+	comm spec.CommID
+	rank int
+	seq  uint64
+}
+
+func newLedger() *ledger { return &ledger{gens: make(map[execKey]int)} }
+
+func (l *ledger) observe(comm spec.CommID, rank, gen int, seq uint64) {
+	k := execKey{comm: comm, rank: rank, seq: seq}
+	if prev, ok := l.gens[k]; ok {
+		l.errs = append(l.errs, fmt.Sprintf(
+			"comm %d rank %d seq %d executed twice (gen %d then %d)", comm, rank, seq, prev, gen))
+		return
+	}
+	l.gens[k] = gen
+}
+
+// check verifies the generation-agreement invariant for nRanks ranks and
+// wantOps collectives per rank.
+func (l *ledger) check(nRanks, wantOps int) error {
+	if len(l.errs) > 0 {
+		return errors.New(strings.Join(l.errs, "; "))
+	}
+	type seqKey struct {
+		comm spec.CommID
+		seq  uint64
+	}
+	byOp := make(map[seqKey]map[int]int)
+	for k, gen := range l.gens {
+		sk := seqKey{comm: k.comm, seq: k.seq}
+		m := byOp[sk]
+		if m == nil {
+			m = make(map[int]int)
+			byOp[sk] = m
+		}
+		m[k.rank] = gen
+	}
+	if len(byOp) != wantOps {
+		return fmt.Errorf("%d distinct collectives executed, want %d", len(byOp), wantOps)
+	}
+	keys := make([]seqKey, 0, len(byOp))
+	for sk := range byOp {
+		keys = append(keys, sk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].comm != keys[j].comm {
+			return keys[i].comm < keys[j].comm
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	for _, sk := range keys {
+		m := byOp[sk]
+		want, ok := m[0]
+		if !ok {
+			return fmt.Errorf("comm %d seq %d never executed on rank 0", sk.comm, sk.seq)
+		}
+		for r := 0; r < nRanks; r++ {
+			g, ok := m[r]
+			if !ok {
+				return fmt.Errorf("comm %d seq %d never executed on rank %d", sk.comm, sk.seq, r)
+			}
+			if g != want {
+				return fmt.Errorf(
+					"comm %d seq %d executed with mixed ring views: rank 0 in gen %d, rank %d in gen %d",
+					sk.comm, sk.seq, want, r, g)
+			}
+		}
+	}
+	return nil
+}
+
+// checkInvariants evaluates every post-run invariant and folds the
+// violations into one error (nil when all hold):
+//
+//   - the scheduler drained without deadlock, livelock, or panic;
+//   - every rank proc ran to completion;
+//   - every collective's output matched the reference executor;
+//   - generation agreement (ledger.check);
+//   - quiescence: no leaked managed flows on the fabric, and no queued
+//     or in-flight work left in any proxy runner.
+func checkInvariants(env *harness.Env, sc Scenario, led *ledger, simErr error, rankErrs []error, finished int) error {
+	var errs []string
+	if simErr != nil {
+		errs = append(errs, "scheduler: "+simErr.Error())
+	}
+	if finished != sc.Ranks {
+		errs = append(errs, fmt.Sprintf("progress: %d of %d rank procs completed", finished, sc.Ranks))
+	}
+	for _, e := range rankErrs {
+		if e != nil {
+			errs = append(errs, "data: "+e.Error())
+		}
+	}
+	if err := led.check(sc.Ranks, sc.Ops); err != nil {
+		errs = append(errs, "generation: "+err.Error())
+	}
+	if n := env.Fabric.ManagedFlows(); n != 0 {
+		errs = append(errs, fmt.Sprintf("quiescence: %d managed flows still active after drain", n))
+	}
+	if err := env.Deployment.CheckQuiescent(); err != nil {
+		errs = append(errs, "quiescence: "+err.Error())
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return errors.New(strings.Join(errs, "\n  "))
+}

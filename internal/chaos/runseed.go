@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mccs/internal/collective"
+	"mccs/internal/gpusim"
+	"mccs/internal/harness"
+	"mccs/internal/mccsd"
+	"mccs/internal/ncclsim"
+	"mccs/internal/sim"
+	"mccs/internal/topo"
+)
+
+// deadline bounds a run in virtual time. The workloads finish in tens of
+// milliseconds; hitting this means events were still being generated
+// long after they should have drained (a livelock), which the quiescence
+// checks then report.
+const deadline = sim.Time(4 * time.Second)
+
+// opSpec is one scripted collective: the op, its element count, the
+// per-rank inputs, and the reference outputs.
+type opSpec struct {
+	op       collective.Op
+	count    int64
+	inputs   [][]float32
+	expected [][]float32
+}
+
+// buildScript derives the collective workload from the seed's workload
+// stream: a mix of AllReduce and AllGather with small-integer inputs
+// (sums of small ints are exact in float32, so reduction order — which
+// the ring permutations change — cannot perturb the reference check).
+func buildScript(sc Scenario, rng *rand.Rand) ([]opSpec, error) {
+	ring, err := collective.NewRing(identity(sc.Ranks))
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]opSpec, sc.Ops)
+	for i := range ops {
+		op := collective.AllReduce
+		if rng.Intn(2) == 1 {
+			op = collective.AllGather
+		}
+		count := 16 + rng.Int63n(sc.MaxCount-15)
+		inputs := make([][]float32, sc.Ranks)
+		for r := range inputs {
+			in := make([]float32, count)
+			for j := range in {
+				in[j] = float32(rng.Intn(8))
+			}
+			inputs[r] = in
+		}
+		expected, err := collective.ExecuteRing(op, ring, 0, inputs)
+		if err != nil {
+			return nil, err
+		}
+		ops[i] = opSpec{op: op, count: count, inputs: inputs, expected: expected}
+	}
+	return ops, nil
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// randStream derives one of a seed's independent PRNG streams.
+func randStream(seed, mult uint64, salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(seed*mult) + salt))
+}
+
+// fuzzPicker permutes same-instant scheduler events with a dedicated
+// PRNG stream.
+type fuzzPicker struct{ rng *rand.Rand }
+
+func (f *fuzzPicker) Pick(n int) int { return f.rng.Intn(n) }
+
+// RunSeed executes one seeded chaos run and checks every invariant.
+// The same (scenario, seed) pair always produces the identical event
+// trace, so any failure replays exactly.
+func RunSeed(sc Scenario, seed uint64) Result {
+	res := Result{Scenario: sc.Name, Seed: seed}
+
+	// Independent PRNG streams: workload script, schedule fuzzing, fault
+	// injection. Distinct odd multipliers keep consecutive seeds from
+	// producing correlated streams.
+	wrk := randStream(seed, 0x9e3779b97f4a7c15, 1)
+	sched := randStream(seed, 0xbf58476d1ce4e5b9, 2)
+	inj := randStream(seed, 0x94d049bb133111eb, 3)
+
+	script, err := buildScript(sc, wrk)
+	if err != nil {
+		res.Err = fmt.Errorf("chaos: building script: %w", err)
+		return res
+	}
+
+	led := newLedger()
+	env, err := harness.NewTestbedEnvWith(ncclsim.MCCS, seed, func(c *mccsd.Config) {
+		c.Proxy.ExecObserver = led.observe
+		c.Proxy.UnsafeSkipSeqBarrier = sc.SkipSeqBarrier
+	})
+	if err != nil {
+		res.Err = fmt.Errorf("chaos: building testbed: %w", err)
+		return res
+	}
+	env.S.SetPicker(&fuzzPicker{rng: sched})
+	tr := newTracer()
+	env.S.SetObserver(tr.observe)
+
+	gpus, err := harness.SingleAppGPUs(env.Cluster, sc.Ranks)
+	if err != nil {
+		res.Err = fmt.Errorf("chaos: selecting GPUs: %w", err)
+		return res
+	}
+
+	rankErrs := make([]error, sc.Ranks)
+	finished := 0
+	for rank := 0; rank < sc.Ranks; rank++ {
+		rank := rank
+		gpu := gpus[rank]
+		env.S.Go(fmt.Sprintf("chaos:rank%d", rank), func(p *sim.Proc) {
+			rankErrs[rank] = runRank(p, env, sc, script, rank, gpu)
+			finished++
+		})
+	}
+
+	installInjectors(env, sc, inj, gpus)
+
+	simErr := runSim(env.S)
+
+	// Fill in the trace fingerprint before invariant checks so even a
+	// failed run reports its replay coordinates.
+	res.TraceHash, res.Events = tr.hash, tr.n
+	res.Tail = append([]TraceEntry(nil), tr.tail...)
+
+	res.Err = checkInvariants(env, sc, led, simErr, rankErrs, finished)
+	return res
+}
+
+// runRank issues the scripted collectives for one rank with a bounded
+// pipeline, verifying each result against the reference executor.
+type pendingOp struct {
+	h    *mccsd.OpHandle
+	idx  int
+	recv *gpusim.Buffer
+}
+
+func runRank(p *sim.Proc, env *harness.Env, sc Scenario, script []opSpec, rank int, gpu topo.GPUID) error {
+	host := env.Cluster.HostOfGPU(gpu)
+	f := env.Deployment.Service(host).Frontend("chaos")
+	comm, err := f.CommInitRank(p, "chaos", sc.Ranks, rank, gpu)
+	if err != nil {
+		return fmt.Errorf("rank %d: init: %w", rank, err)
+	}
+
+	verify := func(po pendingOp) error {
+		po.h.Wait(p)
+		spec := script[po.idx]
+		want := spec.expected[rank]
+		got := po.recv.Data()[:len(want)]
+		for j := range want {
+			if got[j] != want[j] {
+				return fmt.Errorf("rank %d op %d (%v count %d): element %d = %v, want %v",
+					rank, po.idx, spec.op, spec.count, j, got[j], want[j])
+			}
+		}
+		return nil
+	}
+
+	var pending []pendingOp
+	for i, op := range script {
+		send, err := f.MemAlloc(p, gpu, op.count*4, true)
+		if err != nil {
+			return fmt.Errorf("rank %d op %d: alloc send: %w", rank, i, err)
+		}
+		recvBytes := op.count * 4
+		if op.op == collective.AllGather {
+			recvBytes *= int64(sc.Ranks)
+		}
+		recv, err := f.MemAlloc(p, gpu, recvBytes, true)
+		if err != nil {
+			return fmt.Errorf("rank %d op %d: alloc recv: %w", rank, i, err)
+		}
+		copy(send.Data(), op.inputs[rank])
+
+		var h *mccsd.OpHandle
+		switch op.op {
+		case collective.AllGather:
+			h, err = comm.AllGather(p, send, recv, op.count, nil)
+		default:
+			h, err = comm.AllReduce(p, send, recv, op.count, nil)
+		}
+		if err != nil {
+			return fmt.Errorf("rank %d op %d: issue: %w", rank, i, err)
+		}
+		pending = append(pending, pendingOp{h: h, idx: i, recv: recv})
+		if len(pending) >= sc.Depth {
+			if err := verify(pending[0]); err != nil {
+				return err
+			}
+			pending = pending[1:]
+		}
+	}
+	for _, po := range pending {
+		if err := verify(po); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSim drives the scheduler to drain (or the livelock deadline),
+// converting panics — e.g. a weakened protocol sending on a torn-down
+// connection — into errors so the sweep records them per seed.
+func runSim(s *sim.Scheduler) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic in simulation: %v", r)
+		}
+	}()
+	if err := s.RunUntil(deadline); err != nil {
+		return err
+	}
+	if s.Now() >= deadline {
+		return fmt.Errorf("livelock: events still pending at virtual deadline %v", time.Duration(deadline))
+	}
+	return nil
+}

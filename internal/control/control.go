@@ -21,8 +21,25 @@ type Ring struct {
 	s      *sim.Scheduler
 	n      int
 	hopLat time.Duration
-	// in[r] receives vectors forwarded by rank r's predecessor.
-	in []*sim.Queue[[]int64]
+	// in[r] receives messages forwarded by rank r's predecessor.
+	in []*sim.Queue[ctrlMsg]
+	// epoch[r] counts rank r's AllGather calls; messages are tagged with
+	// their barrier's epoch so back-to-back barriers (the reconfiguration
+	// protocol runs two) cannot bleed into each other.
+	epoch []uint64
+	// stash[r] holds messages that arrived for a barrier rank r has not
+	// entered yet.
+	stash [][]ctrlMsg
+}
+
+// ctrlMsg is one hop of an AllGather: slot's contributed value, how many
+// hops it has traveled from its owner, and the barrier epoch it belongs
+// to.
+type ctrlMsg struct {
+	slot  int
+	val   int64
+	hops  int
+	epoch uint64
 }
 
 // NewRing builds an n-rank control ring with the given per-hop message
@@ -31,9 +48,14 @@ func NewRing(s *sim.Scheduler, n int, hopLatency time.Duration) (*Ring, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("control: ring size %d", n)
 	}
-	r := &Ring{s: s, n: n, hopLat: hopLatency, in: make([]*sim.Queue[[]int64], n)}
+	r := &Ring{
+		s: s, n: n, hopLat: hopLatency,
+		in:    make([]*sim.Queue[ctrlMsg], n),
+		epoch: make([]uint64, n),
+		stash: make([][]ctrlMsg, n),
+	}
 	for i := range r.in {
-		r.in[i] = sim.NewQueue[[]int64]()
+		r.in[i] = sim.NewQueue[ctrlMsg]()
 	}
 	return r, nil
 }
@@ -46,8 +68,15 @@ func (r *Ring) Size() int { return r.n }
 // until all peers participate (the barrier property the reconfiguration
 // protocol relies on).
 //
-// The implementation is the standard ring allgather: n-1 rounds, each rank
-// forwarding the vector slot it learned most recently to its successor.
+// The implementation is the standard ring allgather, but forwarding is
+// content-driven rather than round-indexed: a rank forwards each message
+// it actually received (until the message has made its n-1 hops) instead
+// of forwarding the slot a round counter says it should know by now. With
+// nonzero per-hop jitter the two are equivalent; under an adversarial
+// event schedule same-instant deliveries can arrive permuted, and
+// round-indexed forwarding would propagate unfilled slots. Each slot's
+// value visits every other rank exactly once either way, so message
+// counts and pacing are identical on the unperturbed schedule.
 func (r *Ring) AllGather(p *sim.Proc, rank int, val int64) []int64 {
 	if rank < 0 || rank >= r.n {
 		panic(fmt.Sprintf("control: rank %d out of range [0,%d)", rank, r.n))
@@ -60,24 +89,46 @@ func (r *Ring) AllGather(p *sim.Proc, rank int, val int64) []int64 {
 	if r.n == 1 {
 		return out
 	}
+	r.epoch[rank]++
+	ep := r.epoch[rank]
 	next := (rank + 1) % r.n
-	// Round s: forward the slot for rank (rank-s mod n); after receiving,
-	// we know slot (rank-s-1 mod n).
-	for s := 0; s < r.n-1; s++ {
-		slot := ((rank-s)%r.n + r.n) % r.n
-		r.send(next, slot, out[slot])
-		msg := r.in[rank].Pop(p)
-		got := int(msg[0])
-		out[got] = msg[1]
+	r.send(next, ctrlMsg{slot: rank, val: val, hops: 1, epoch: ep})
+	for recvd := 0; recvd < r.n-1; recvd++ {
+		m := r.pop(p, rank, ep)
+		out[m.slot] = m.val
+		if m.hops < r.n-1 {
+			r.send(next, ctrlMsg{slot: m.slot, val: m.val, hops: m.hops + 1, epoch: ep})
+		}
 	}
 	return out
 }
 
 const noValue = int64(-1 << 62)
 
-func (r *Ring) send(to, slot int, val int64) {
-	msg := []int64{int64(slot), val}
-	r.s.After(r.hopLat, func() { r.in[to].Push(r.s, msg) })
+// pop returns the next message of the given barrier epoch for rank,
+// stashing messages from barriers rank has not entered yet (a fast
+// successor can start the protocol's second barrier while we are still
+// in the first). Past-epoch messages cannot arrive: exactly n-1 messages
+// target each rank per epoch and all were consumed before that call
+// returned.
+func (r *Ring) pop(p *sim.Proc, rank int, ep uint64) ctrlMsg {
+	for i, m := range r.stash[rank] {
+		if m.epoch == ep {
+			r.stash[rank] = append(r.stash[rank][:i], r.stash[rank][i+1:]...)
+			return m
+		}
+	}
+	for {
+		m := r.in[rank].Pop(p)
+		if m.epoch == ep {
+			return m
+		}
+		r.stash[rank] = append(r.stash[rank], m)
+	}
+}
+
+func (r *Ring) send(to int, m ctrlMsg) {
+	r.s.After(r.hopLat, func() { r.in[to].Push(r.s, m) })
 }
 
 // Max is a convenience for the reconfiguration protocol: the maximum over

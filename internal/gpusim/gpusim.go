@@ -45,11 +45,35 @@ type Device struct {
 	allocated int64
 	nextBuf   int
 	buffers   map[int]*Buffer
+
+	// slow divides the effective memory bandwidth; 1 is nominal speed.
+	// Fault injection uses it to turn the device into a straggler.
+	slow float64
 }
 
 // NewDevice creates a device with the given ID and config.
 func NewDevice(s *sim.Scheduler, id int, cfg DeviceConfig) *Device {
-	return &Device{ID: id, cfg: cfg, s: s, buffers: make(map[int]*Buffer)}
+	return &Device{ID: id, cfg: cfg, s: s, buffers: make(map[int]*Buffer), slow: 1}
+}
+
+// SetSlowdown makes every kernel on the device take factor times longer
+// (factor >= 1; values below 1 are clamped to 1). Already-running kernels
+// keep their original duration; the change applies to kernels charged
+// after the call. A chaos harness scripts this to model straggler GPUs —
+// thermal throttling, a noisy co-tenant, a failing HBM stack.
+func (d *Device) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	d.slow = factor
+}
+
+// Slowdown returns the current straggler factor (1 = nominal).
+func (d *Device) Slowdown() float64 {
+	if d.slow < 1 {
+		return 1
+	}
+	return d.slow
 }
 
 // Config returns the device's cost model.
@@ -320,7 +344,7 @@ func (st *Stream) Launch(name string, dur time.Duration, body func()) {
 // memory bus (1 for a copy read-modify-write approximated as one pass, 2
 // for reduce: read both operands).
 func (d *Device) kernelTime(bytes int64, passes float64) time.Duration {
-	sec := float64(bytes) * passes / d.cfg.MemBandwidth
+	sec := float64(bytes) * passes / d.cfg.MemBandwidth * d.Slowdown()
 	return time.Duration(sec * float64(time.Second))
 }
 

@@ -40,6 +40,14 @@ func NewTestbedEnvSalted(system ncclsim.System, salt uint64) (*Env, error) {
 	return newTestbedEnv(system, salt, nil)
 }
 
+// NewTestbedEnvWith is NewTestbedEnvSalted plus a service-config mutation
+// hook applied before the deployment is built. The chaos harness uses it
+// to install exec observers and protocol weakenings; ablation drivers use
+// it to override individual cost-model knobs.
+func NewTestbedEnvWith(system ncclsim.System, salt uint64, mutate func(*mccsd.Config)) (*Env, error) {
+	return newTestbedEnv(system, salt, mutate)
+}
+
 func newTestbedEnv(system ncclsim.System, salt uint64, mutate func(*mccsd.Config)) (*Env, error) {
 	cluster, err := topo.BuildClos(topo.TestbedConfig())
 	if err != nil {

@@ -120,6 +120,26 @@ func (d *Deployment) ClearTrafficSchedule(app spec.AppID) {
 	}
 }
 
+// CheckQuiescent verifies that no communicator in the deployment has
+// queued or in-flight work: every runner's command queue and execution
+// pipeline are empty and no reconfiguration is stashed. The chaos
+// harness calls it after the scheduler drains — leftover work at that
+// point means an operation was silently dropped or stranded.
+func (d *Deployment) CheckQuiescent() error {
+	for id := spec.CommID(1); id <= d.nextCommID; id++ {
+		c, ok := d.comms[id]
+		if !ok {
+			continue
+		}
+		for rank, r := range c.Runners {
+			if !r.Quiescent() {
+				return fmt.Errorf("mccsd: communicator %d rank %d not quiescent after drain", id, rank)
+			}
+		}
+	}
+	return nil
+}
+
 // CommTrace returns the collective trace of one rank of a communicator
 // (the fine-grained tracing the TS policy analyzes for idle cycles).
 func (d *Deployment) CommTrace(id spec.CommID, rank int) ([]proxy.TraceEntry, error) {

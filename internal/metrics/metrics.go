@@ -18,13 +18,21 @@ type Summary struct {
 	StdDev       float64
 }
 
-// Summarize computes a Summary. An empty input yields a zero Summary.
+// Summarize computes a Summary. Non-finite values (NaN, ±Inf) are
+// rejected from the sample: a single corrupted measurement — a timing
+// divide-by-zero, an uninitialized slot — would otherwise poison every
+// statistic (NaN propagates through sums, Inf saturates the mean). An
+// empty or all-non-finite input yields a zero Summary.
 func Summarize(vals []float64) Summary {
-	if len(vals) == 0 {
+	s := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			s = append(s, v)
+		}
+	}
+	if len(s) == 0 {
 		return Summary{}
 	}
-	s := make([]float64, len(vals))
-	copy(s, vals)
 	sort.Float64s(s)
 	var sum, sq float64
 	for _, v := range s {

@@ -92,6 +92,87 @@ func TestSpeedupAndMean(t *testing.T) {
 	}
 }
 
+// Property: Percentile matches an independently written linear-
+// interpolation reference at random quantiles of random samples.
+func TestQuickPercentileReference(t *testing.T) {
+	// naive recomputes the p-quantile from first principles: position
+	// p*(n-1) in the sorted sample, linearly interpolated.
+	naive := func(sorted []float64, p float64) float64 {
+		n := len(sorted)
+		pos := p * float64(n-1)
+		lo := int(pos)
+		if lo >= n-1 {
+			return sorted[n-1]
+		}
+		return sorted[lo] + (pos-float64(lo))*(sorted[lo+1]-sorted[lo])
+	}
+	f := func(vals []float64, raw uint16) bool {
+		var clean []float64
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		sort.Float64s(clean)
+		p := float64(raw) / math.MaxUint16
+		got, want := Percentile(clean, p), naive(clean, p)
+		return math.Abs(got-want) <= 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Degenerate samples: a single value and an all-equal sample collapse
+// every statistic onto that value (and stddev to zero).
+func TestSummarizeDegenerate(t *testing.T) {
+	one := Summarize([]float64{42})
+	if one.N != 1 || one.Mean != 42 || one.Min != 42 || one.Max != 42 ||
+		one.P5 != 42 || one.P50 != 42 || one.P95 != 42 || one.StdDev != 0 {
+		t.Errorf("N=1 summary = %+v", one)
+	}
+	eq := Summarize([]float64{3, 3, 3, 3, 3, 3, 3})
+	if eq.N != 7 || eq.Mean != 3 || eq.Min != 3 || eq.Max != 3 ||
+		eq.P5 != 3 || eq.P50 != 3 || eq.P95 != 3 || eq.StdDev != 0 {
+		t.Errorf("all-equal summary = %+v", eq)
+	}
+}
+
+// Property: non-finite values are rejected — a sample with NaN/Inf mixed
+// in summarizes identically to its finite subset, and an all-non-finite
+// sample yields the zero Summary.
+func TestQuickSummarizeRejectsNonFinite(t *testing.T) {
+	f := func(vals []float64, posns []uint8) bool {
+		var finite []float64
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				finite = append(finite, v)
+			}
+		}
+		// Splice non-finite junk into copies of the finite sample at
+		// generator-chosen positions.
+		junk := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+		dirty := append([]float64(nil), finite...)
+		for i, pos := range posns {
+			at := 0
+			if len(dirty) > 0 {
+				at = int(pos) % (len(dirty) + 1)
+			}
+			dirty = append(dirty[:at], append([]float64{junk[i%len(junk)]}, dirty[at:]...)...)
+		}
+		return Summarize(dirty) == Summarize(finite)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if got := Summarize([]float64{math.NaN(), math.Inf(1)}); got != (Summary{}) {
+		t.Errorf("all-non-finite summary = %+v", got)
+	}
+}
+
 // Property: Summarize is order-invariant and percentiles are monotone and
 // bounded by min/max.
 func TestQuickSummaryInvariants(t *testing.T) {

@@ -236,6 +236,21 @@ func (fb *Fabric) LinkUtilization(l LinkID) float64 {
 // ActiveFlows returns the number of in-flight flows.
 func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
 
+// ManagedFlows returns the number of in-flight flows that are NOT marked
+// External — the traffic the collective service itself put on the fabric.
+// A drained simulation with managed flows remaining has leaked transfers
+// (the chaos harness's quiescence invariant); external background flows
+// are excluded because injectors may legitimately leave them running.
+func (fb *Fabric) ManagedFlows() int {
+	n := 0
+	for _, fl := range fb.flows {
+		if !fl.external {
+			n++
+		}
+	}
+	return n
+}
+
 // progress advances byte counters to now at current rates.
 func (fb *Fabric) progress() {
 	now := fb.s.Now()
@@ -276,6 +291,14 @@ func (fb *Fabric) allocate() {
 	if len(fb.flows) == 0 {
 		return
 	}
+	// Committed in flow-ID order: link-rate sums are float accumulations,
+	// and iterating the flow map directly would make their low-order bits
+	// (and thus threshold comparisons downstream) depend on map order.
+	ordered := make([]*Flow, 0, len(fb.flows))
+	for _, fl := range fb.flows {
+		ordered = append(ordered, fl)
+	}
+	sortFlows(ordered)
 	frozen := make(map[*Flow]float64)
 	groupFrozen := make(map[*Group]bool)
 	// Strict-priority flows are allocated first (water-filled among
@@ -317,7 +340,7 @@ func (fb *Fabric) allocate() {
 		}
 		if pick == nil {
 			// Done: commit rates.
-			for _, fl := range fb.flows {
+			for _, fl := range ordered {
 				if r, ok := frozen[fl]; ok {
 					fl.rate = r
 				} else {

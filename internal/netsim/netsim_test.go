@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -401,6 +402,145 @@ func TestQuickMaxMinInvariants(t *testing.T) {
 		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on arbitrary random fabrics with arbitrary pinned routes, the
+// allocation is max-min fair. Two conditions certify it:
+//
+//  1. feasibility — no link carries more than its capacity;
+//  2. bottleneck certificate — every uncapped flow crosses at least one
+//     saturated link on which its rate is maximal. Raising such a flow
+//     would then necessarily lower a flow with a rate no higher than its
+//     own, which is exactly the max-min optimality condition.
+//
+// Tolerances are relative to link scale (mirroring the byteEps guard the
+// fabric itself uses for completion) so the test does not trip over float
+// accumulation on many-flow links.
+func TestQuickMaxMinRandomFabrics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := sim.New()
+		n := NewNetwork()
+		nNodes := 3 + rng.Intn(6)
+		nodes := make([]NodeID, nNodes)
+		for i := range nodes {
+			nodes[i] = n.AddNode(fmt.Sprintf("n%d", i))
+		}
+		// Ring backbone guarantees every random walk can move, then
+		// extra chords for path diversity. Random capacities span two
+		// orders of magnitude to exercise unequal bottlenecks.
+		randCap := func() float64 { return (1 + 99*rng.Float64()) * gbps }
+		for i := range nodes {
+			n.AddLink(nodes[i], nodes[(i+1)%nNodes], randCap())
+		}
+		for e := rng.Intn(2 * nNodes); e > 0; e-- {
+			a, b := rng.Intn(nNodes), rng.Intn(nNodes)
+			if a != b {
+				n.AddLink(nodes[a], nodes[b], randCap())
+			}
+		}
+		// Random simple-path routes by bounded random walk.
+		walk := func() []LinkID {
+			at := nodes[rng.Intn(nNodes)]
+			seen := map[NodeID]bool{at: true}
+			var route []LinkID
+			for hops := 1 + rng.Intn(4); hops > 0; hops-- {
+				var outs []LinkID
+				for i := 0; i < n.NumLinks(); i++ {
+					l := n.Link(LinkID(i))
+					if l.From == at && !seen[l.To] {
+						outs = append(outs, l.ID)
+					}
+				}
+				if len(outs) == 0 {
+					break
+				}
+				pick := n.Link(outs[rng.Intn(len(outs))])
+				route = append(route, pick.ID)
+				at = pick.To
+				seen[at] = true
+			}
+			return route
+		}
+		fb := NewFabric(s, n)
+		ok := true
+		s.Go("app", func(p *sim.Proc) {
+			var flows []*Flow
+			for i := 1 + rng.Intn(12); i > 0; i-- {
+				route := walk()
+				if len(route) == 0 {
+					continue
+				}
+				o := FlowOpts{
+					Src: n.Link(route[0]).From, Dst: n.Link(route[len(route)-1]).To,
+					Route: route, Bytes: 1e15,
+				}
+				if rng.Intn(4) == 0 {
+					o.MaxRate = (1 + 30*rng.Float64()) * gbps
+				}
+				flows = append(flows, fb.StartFlow(o))
+			}
+			crossing := func(l LinkID) (sum float64, fs []*Flow) {
+				for _, fl := range flows {
+					for _, rl := range fl.Route {
+						if rl == l {
+							sum += fl.Rate()
+							fs = append(fs, fl)
+							break
+						}
+					}
+				}
+				return sum, fs
+			}
+			for i := 0; i < n.NumLinks(); i++ {
+				l := n.Link(LinkID(i))
+				eps := 1e-6 * l.Capacity
+				if sum, _ := crossing(l.ID); sum > l.Capacity+eps {
+					t.Logf("seed %d: link %d over capacity: %g > %g", seed, i, sum, l.Capacity)
+					ok = false
+				}
+			}
+			for _, fl := range flows {
+				if fl.maxRate > 0 && almostEq(fl.Rate(), fl.maxRate, 1e-6*fl.maxRate+1) {
+					continue
+				}
+				certified := false
+				for _, l := range fl.Route {
+					link := n.Link(l)
+					eps := 1e-6 * link.Capacity
+					sum, fs := crossing(l)
+					if sum < link.Capacity-eps {
+						continue
+					}
+					maximal := true
+					for _, g := range fs {
+						if g.Rate() > fl.Rate()+eps {
+							maximal = false
+							break
+						}
+					}
+					if maximal {
+						certified = true
+						break
+					}
+				}
+				if !certified {
+					t.Logf("seed %d: flow %d rate %g has no bottleneck link", seed, fl.ID, fl.Rate())
+					ok = false
+				}
+			}
+			for _, fl := range flows {
+				fb.CancelFlow(fl)
+			}
+		})
+		if err := s.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
 	}
 }

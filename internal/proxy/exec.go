@@ -23,6 +23,9 @@ func (r *Runner) execute(p *sim.Proc, op *OpRequest) {
 	}
 	n := r.comm.Info.NumRanks()
 	cs := r.comm.gens[r.gen]
+	if obs := r.comm.cfg.ExecObserver; obs != nil {
+		obs(r.comm.Info.ID, r.rank, r.gen, op.seq)
+	}
 
 	r.initialCopy(p, op, n)
 

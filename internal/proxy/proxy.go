@@ -44,6 +44,22 @@ type Config struct {
 	// LabelSalt perturbs connection ECMP labels, letting experiment
 	// harnesses sample the ECMP collision distribution across trials.
 	LabelSalt uint64
+
+	// ExecObserver, when non-nil, is invoked at the start of every
+	// collective execution with the communicator, rank, connection
+	// generation and sequence number. The chaos harness uses it to check
+	// the Fig. 4 safety invariant: a given sequence number must execute
+	// under the same generation on every rank.
+	ExecObserver func(comm spec.CommID, rank, gen int, seq uint64)
+
+	// UnsafeSkipSeqBarrier disables the sequence-number AllGather /
+	// drain / completion barrier of the Fig. 4 reconfiguration protocol:
+	// a rank switches generations as soon as its own pipeline is idle,
+	// without coordinating with peers. It exists ONLY so the chaos
+	// harness can prove it detects the protocol's absence (mixed-
+	// generation execution, stranded receives, corrupt results). Never
+	// set it in a real deployment.
+	UnsafeSkipSeqBarrier bool
 }
 
 // DefaultConfig returns latencies in the range the paper reports.
@@ -386,6 +402,16 @@ func (r *Runner) Seq() uint64 { return r.seq }
 // Generation returns the current connection generation.
 func (r *Runner) Generation() int { return r.gen }
 
+// Quiescent reports whether the runner has no queued or in-flight work:
+// empty command queue, empty execution pipeline, no outstanding
+// collectives or P2P ops, and no stashed reconfigurations. The chaos
+// harness asserts this for every runner once the simulation drains.
+func (r *Runner) Quiescent() bool {
+	return r.queue.Len() == 0 && r.execQ.Len() == 0 &&
+		r.collInFlight == 0 && r.p2pInFlight == 0 &&
+		len(r.pendingReconfigs) == 0
+}
+
 // Trace returns the recorded collective history (most recent last).
 func (r *Runner) Trace() []TraceEntry {
 	return append([]TraceEntry(nil), r.trace...)
@@ -495,26 +521,29 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 	if err := req.Strategy.Validate(r.comm.Info.NumRanks()); err != nil {
 		panic(fmt.Sprintf("proxy: reconfigure with bad strategy: %v", err))
 	}
-	// 1. Exchange last-launched sequence numbers on the control ring.
-	//    This stalls new launches locally (we are not reading the command
-	//    queue) without any fast-path cost when no reconfig is pending.
-	vals := r.comm.ctrl.AllGather(p, r.rank, int64(r.seq))
-	maxSeq := uint64(control.Max(vals))
+	if !r.comm.cfg.UnsafeSkipSeqBarrier {
+		// 1. Exchange last-launched sequence numbers on the control ring.
+		//    This stalls new launches locally (we are not reading the
+		//    command queue) without any fast-path cost when no reconfig is
+		//    pending.
+		vals := r.comm.ctrl.AllGather(p, r.rank, int64(r.seq))
+		maxSeq := uint64(control.Max(vals))
 
-	// 2. Drain-launch: collectives that peers already launched must run
-	//    under the old configuration. The frontend will deliver them;
-	//    non-op messages that arrive meanwhile are stashed.
-	for r.seq < maxSeq {
-		switch m := r.queue.Pop(p).(type) {
-		case *OpRequest:
-			r.launch(m)
-		case *P2PRequest:
-			r.launchP2P(m)
-		case *ReconfigRequest:
-			r.pendingReconfigs = append(r.pendingReconfigs, m)
-		case shutdownMsg:
-			r.stopped = true
-			return
+		// 2. Drain-launch: collectives that peers already launched must
+		//    run under the old configuration. The frontend will deliver
+		//    them; non-op messages that arrive meanwhile are stashed.
+		for r.seq < maxSeq {
+			switch m := r.queue.Pop(p).(type) {
+			case *OpRequest:
+				r.launch(m)
+			case *P2PRequest:
+				r.launchP2P(m)
+			case *ReconfigRequest:
+				r.pendingReconfigs = append(r.pendingReconfigs, m)
+			case shutdownMsg:
+				r.stopped = true
+				return
+			}
 		}
 	}
 
@@ -548,7 +577,9 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 		}
 	}
 	r.waitCollIdle(p)
-	r.comm.ctrl.AllGather(p, r.rank, int64(r.seq))
+	if !r.comm.cfg.UnsafeSkipSeqBarrier {
+		r.comm.ctrl.AllGather(p, r.rank, int64(r.seq))
+	}
 
 	// 4. Tear down this rank's send connections and switch to the next
 	//    generation, rebuilding connections under the new strategy.

@@ -73,15 +73,18 @@ func (p *Proc) Scheduler() *Scheduler { return p.s }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.s.now }
 
-// event is a scheduled callback. Events fire in (at, seq) order; seq breaks
-// ties so that events scheduled earlier run earlier, which keeps the
-// simulation deterministic.
+// event is a scheduled callback. By default events fire in (at, seq)
+// order; seq breaks ties so that events scheduled earlier run earlier,
+// which keeps the simulation deterministic. An installed Picker (see
+// SetPicker) may permute the firing order among events that share a
+// timestamp — the foundation of the chaos harness's schedule fuzzing.
 type event struct {
 	at       Time
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int // heap index, -1 when popped/canceled
+	fired    bool
+	index    int // heap index, -1 when popped into the ready set
 }
 
 type eventHeap []*event
@@ -122,20 +125,34 @@ type Timer struct {
 // Stop cancels the timer if it has not fired. It reports whether the timer
 // was still pending.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fired {
 		return false
 	}
 	t.ev.canceled = true
 	return true
 }
 
+// Picker selects which of n same-instant ready events fires next. It is
+// consulted only when more than one event is runnable at the current
+// virtual time; returning a value outside [0, n) falls back to index 0.
+// A deterministic Picker (e.g. a seeded PRNG) keeps the simulation
+// bit-reproducible while exploring interleavings the default FIFO order
+// never reaches.
+type Picker interface {
+	Pick(n int) int
+}
+
 // Scheduler owns the virtual clock and the event queue.
 type Scheduler struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	yield  chan struct{}
-	nextID int
+	now      Time
+	seq      uint64
+	queue    eventHeap
+	readySet []*event // same-instant candidates, in seq order
+	yield    chan struct{}
+	nextID   int
+
+	picker   Picker
+	observer func(at Time, seq uint64)
 
 	live    int // processes not yet Done
 	parked  map[int]*Proc
@@ -154,6 +171,18 @@ func New() *Scheduler {
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
+
+// SetPicker installs a tie-break policy among same-timestamp events. nil
+// restores the default FIFO (scheduling-order) policy. Install before Run;
+// switching mid-run is allowed but changes which interleaving is explored
+// from that point on.
+func (s *Scheduler) SetPicker(pk Picker) { s.picker = pk }
+
+// SetObserver installs a hook invoked immediately before every executed
+// event with the event's firing time and sequence number. The sequence of
+// (at, seq) pairs is a complete fingerprint of the simulation schedule:
+// two runs are the same interleaving iff their observer streams match.
+func (s *Scheduler) SetObserver(fn func(at Time, seq uint64)) { s.observer = fn }
 
 // Go creates a process named name executing fn and schedules it to start at
 // the current virtual time.
@@ -294,19 +323,60 @@ func (s *Scheduler) Run() error {
 
 // RunUntil executes events with timestamps <= limit. The clock stops at the
 // last executed event (or limit if events remain beyond it).
+//
+// Events sharing a timestamp form a ready set; the installed Picker (FIFO
+// when none) chooses which fires next. Events scheduled for the current
+// instant while it is being processed join the ready set and are eligible
+// for the very next pick, so a fuzzing Picker can reorder them ahead of
+// older same-instant work.
 func (s *Scheduler) RunUntil(limit Time) error {
-	for len(s.queue) > 0 {
-		ev := s.queue[0]
-		if ev.at > limit {
-			s.now = limit
-			return nil
+	for len(s.queue) > 0 || len(s.readySet) > 0 {
+		if len(s.readySet) == 0 {
+			// Advance the clock to the next pending event.
+			ev := s.queue[0]
+			if ev.canceled {
+				heap.Pop(&s.queue)
+				continue
+			}
+			if ev.at > limit {
+				s.now = limit
+				return nil
+			}
+			if ev.at > s.now {
+				s.now = ev.at
+			}
 		}
-		heap.Pop(&s.queue)
-		if ev.canceled {
+		// Pull everything scheduled for the current instant into the
+		// ready set. Heap pops arrive in seq order and new events get
+		// larger seqs, so appending preserves seq order and the default
+		// pick (index 0) reproduces the historical FIFO schedule.
+		for len(s.queue) > 0 && s.queue[0].at <= s.now {
+			ev := heap.Pop(&s.queue).(*event)
+			if !ev.canceled {
+				s.readySet = append(s.readySet, ev)
+			}
+		}
+		if len(s.readySet) == 0 {
 			continue
 		}
-		if ev.at > s.now {
-			s.now = ev.at
+		idx := 0
+		if s.picker != nil && len(s.readySet) > 1 {
+			if i := s.picker.Pick(len(s.readySet)); i >= 0 && i < len(s.readySet) {
+				idx = i
+			}
+		}
+		ev := s.readySet[idx]
+		copy(s.readySet[idx:], s.readySet[idx+1:])
+		s.readySet[len(s.readySet)-1] = nil
+		s.readySet = s.readySet[:len(s.readySet)-1]
+		if ev.canceled {
+			// Canceled after entering the ready set (a Timer stopped by
+			// an earlier same-instant event).
+			continue
+		}
+		ev.fired = true
+		if s.observer != nil {
+			s.observer(s.now, ev.seq)
 		}
 		ev.fn()
 		if s.panicked != nil {

@@ -72,6 +72,10 @@ type Engine struct {
 
 	gates map[spec.AppID]*Gate
 
+	// perturb, when non-nil, returns an extra delay applied before each
+	// message enters its channel (after TS gating). See SetSendPerturb.
+	perturb func(bytes int64) time.Duration
+
 	// stats
 	messagesSent int64
 	bytesSent    int64
@@ -98,6 +102,14 @@ func (e *Engine) Gate(app spec.AppID) *Gate {
 	return g
 }
 
+// SetSendPerturb installs a fault-injection hook: fn is consulted once per
+// message (in deterministic scheduler order) and its result delays the
+// message's entry into the fabric or intra-host channel. Message order on
+// each connection is preserved — the delay stalls the connection's FIFO,
+// modeling NIC scheduling jitter or a congested PCIe root complex. A nil
+// fn removes the hook. fn must be deterministic for reproducible runs.
+func (e *Engine) SetSendPerturb(fn func(bytes int64) time.Duration) { e.perturb = fn }
+
 // MessagesSent and BytesSent expose engine counters for tests and traces.
 func (e *Engine) MessagesSent() int64 { return e.messagesSent }
 func (e *Engine) BytesSent() int64    { return e.bytesSent }
@@ -122,6 +134,11 @@ type Conn struct {
 	inbox   *sim.Queue[Delivery]
 	sendSeq uint64
 	closed  bool
+
+	// recvSeq/stash re-sequence deliveries whose completion events fired
+	// out of order (see Recv).
+	recvSeq uint64
+	stash   map[uint64]Delivery
 
 	// sendQ serializes messages: a real connection (RDMA QP) transmits
 	// one message at a time in order. Without this, concurrent slices
@@ -299,6 +316,14 @@ func (c *Conn) startNext() {
 	// TS gating: traffic may only start inside the app's allowed windows.
 	now := e.s.Now()
 	at := e.Gate(c.app).NextAllowed(now)
+	if e.perturb != nil {
+		if d := e.perturb(msg.bytes); d > 0 {
+			if at < now {
+				at = now
+			}
+			at = at.Add(d)
+		}
+	}
 	if at <= now {
 		start()
 	} else {
@@ -306,11 +331,33 @@ func (c *Conn) startNext() {
 	}
 }
 
-// Recv blocks until the next delivery on the connection.
+// Recv blocks until the next delivery on the connection, in send order.
+//
+// Delivery events for back-to-back tiny messages can land at the same
+// virtual instant (sub-nanosecond transmit times truncate to zero), and
+// the scheduler is free to fire same-instant events in any order — the
+// chaos harness's schedule fuzzer exercises exactly that freedom. A real
+// connection (RDMA QP, TCP) still delivers in order, so Recv re-sequences
+// by message sequence number instead of trusting event order.
 func (c *Conn) Recv(p *sim.Proc) Delivery {
-	return c.inbox.Pop(p)
+	for {
+		if d, ok := c.stash[c.recvSeq+1]; ok {
+			delete(c.stash, c.recvSeq+1)
+			c.recvSeq++
+			return d
+		}
+		d := c.inbox.Pop(p)
+		if d.Seq == c.recvSeq+1 {
+			c.recvSeq++
+			return d
+		}
+		if c.stash == nil {
+			c.stash = make(map[uint64]Delivery)
+		}
+		c.stash[d.Seq] = d
+	}
 }
 
 // Pending returns the number of undelivered messages queued on the
 // connection.
-func (c *Conn) Pending() int { return c.inbox.Len() }
+func (c *Conn) Pending() int { return c.inbox.Len() + len(c.stash) }

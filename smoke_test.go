@@ -1,0 +1,45 @@
+// Smoke tests for every runnable entrypoint: each cmd/ tool and each
+// example builds and runs to completion on a tiny configuration,
+// producing some output. These catch flag drift, panics on startup and
+// experiment-harness wiring breaks that package tests (which call the
+// underlying libraries directly) cannot see.
+package mccs_test
+
+import (
+	"os/exec"
+	"testing"
+)
+
+func TestEntrypointSmoke(t *testing.T) {
+	cases := []struct {
+		name string
+		pkg  string
+		args []string
+	}{
+		{"quickstart", "./examples/quickstart", nil},
+		{"multitenant", "./examples/multitenant", nil},
+		{"training", "./examples/training", nil},
+		{"reconfig-example", "./examples/reconfig", nil},
+		{"bench", "./cmd/mccs-bench", []string{"-gpus=4", "-sizes=1M", "-iters=1", "-warmup=0", "-trials=1"}},
+		{"breakdown", "./cmd/mccs-breakdown", []string{"-iters=1"}},
+		{"crossrack", "./cmd/mccs-crossrack", []string{"-trials=20", "-seed=1"}},
+		{"multi", "./cmd/mccs-multi", []string{"-bytes=4194304", "-iters=2", "-warmup=1", "-trials=1"}},
+		{"qos", "./cmd/mccs-qos", []string{"-iters-a=2", "-iters-bc=2"}},
+		{"qos-dynamic", "./cmd/mccs-qos", []string{"-dynamic", "-iters-a=2", "-iters-bc=2"}},
+		{"reconfig", "./cmd/mccs-reconfig", []string{"-run=2s", "-bg=500ms", "-reconfig=1s"}},
+		{"simcluster", "./cmd/mccs-simcluster", []string{"-jobs=3", "-iters=2", "-runs=1"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", append([]string{"run", tc.pkg}, tc.args...)...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s %v: %v\n%s", tc.pkg, tc.args, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s %v produced no output", tc.pkg, tc.args)
+			}
+		})
+	}
+}
