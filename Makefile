@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check chaos bench
+.PHONY: all build test vet race check chaos bench trace
 
 all: check
 
@@ -27,3 +27,10 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .
+
+# trace records a short Fig. 7 reconfiguration run with the flight
+# recorder and prints the bottleneck-attribution summary. The JSON also
+# loads in Perfetto (ui.perfetto.dev) for a visual timeline.
+trace:
+	$(GO) run ./cmd/mccs-reconfig -run 6s -bg 2s -reconfig 4s -trace reconfig.trace.json
+	$(GO) run ./cmd/mccs-trace summarize reconfig.trace.json

@@ -23,6 +23,7 @@ func main() {
 	iters := flag.Int("iters", 5, "measured iterations per trial")
 	warmup := flag.Int("warmup", 2, "warmup iterations per trial")
 	trials := flag.Int("trials", 5, "ECMP-salt trials (variance sampling)")
+	tracePath := flag.String("trace", "", "record the first benchmark cell's first trial as Chrome trace-event JSON here")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -61,10 +62,18 @@ func main() {
 			for _, size := range sizes {
 				fmt.Printf("%-8s", metrics.HumanBytes(size))
 				for _, sys := range ncclsim.Systems() {
-					res, err := harness.RunSingleApp(harness.SingleAppConfig{
+					cell := harness.SingleAppConfig{
 						System: sys, Op: op, Bytes: size, NumGPUs: nGPU,
 						Warmup: *warmup, Iters: *iters, Trials: *trials,
-					})
+					}
+					// Only the very first cell is traced: one full-detail
+					// recording is the debugging artifact; tracing every
+					// cell would just overwrite it.
+					if *tracePath != "" {
+						cell.TracePath = *tracePath
+						*tracePath = ""
+					}
+					res, err := harness.RunSingleApp(cell)
 					if err != nil {
 						log.Fatalf("%v %v %d: %v", sys, op, size, err)
 					}

@@ -18,6 +18,7 @@ func main() {
 	bgGbps := flag.Float64("bg-gbps", 75, "background flow rate (Gbit/s)")
 	reconfAt := flag.Duration("reconfig", 12*time.Second, "ring reversal time")
 	csv := flag.Bool("csv", false, "emit the full time series as CSV")
+	tracePath := flag.String("trace", "", "record the run and write Chrome trace-event JSON here")
 	flag.Parse()
 
 	cfg := harness.DefaultReconfigConfig()
@@ -25,9 +26,13 @@ func main() {
 	cfg.BgStart = *bgStart
 	cfg.BgRate = *bgGbps * 125e6
 	cfg.ReconfigAt = *reconfAt
+	cfg.TracePath = *tracePath
 	res, err := harness.RunReconfigShowcase(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *tracePath != "" {
+		fmt.Printf("trace written to %s (view in Perfetto, or: mccs-trace summarize %s)\n", *tracePath, *tracePath)
 	}
 
 	fmt.Printf("[Fig. 7] 8-GPU 128MB AllReduce on a 4-switch ring, %d iterations\n", len(res.Series))

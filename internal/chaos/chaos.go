@@ -128,6 +128,10 @@ type Result struct {
 	// Tail holds the last events before the run ended, for failure
 	// triage (the full trace is reproduced by re-running the seed).
 	Tail []TraceEntry
+	// TracePath, set only on failure, is a temp file holding the run's
+	// full flight-recorder dump as Chrome trace-event JSON (inspect with
+	// cmd/mccs-trace or Perfetto).
+	TracePath string
 	// Err is nil iff every invariant held.
 	Err error
 }
@@ -147,6 +151,9 @@ func (r Result) String() string {
 	fmt.Fprintf(&b, "\n  error: %v\n  trace tail (replay with RunSeed(%s, %#x)):", r.Err, r.Scenario, r.Seed)
 	for _, e := range r.Tail {
 		fmt.Fprintf(&b, "\n    at=%v seq=%d", time.Duration(e.At), e.Seq)
+	}
+	if r.TracePath != "" {
+		fmt.Fprintf(&b, "\n  flight recorder dump: %s", r.TracePath)
 	}
 	return b.String()
 }

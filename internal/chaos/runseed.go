@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"mccs/internal/collective"
@@ -12,6 +13,7 @@ import (
 	"mccs/internal/ncclsim"
 	"mccs/internal/sim"
 	"mccs/internal/topo"
+	"mccs/internal/trace"
 )
 
 // deadline bounds a run in virtual time. The workloads finish in tens of
@@ -101,7 +103,7 @@ func RunSeed(sc Scenario, seed uint64) Result {
 	}
 
 	led := newLedger()
-	env, err := harness.NewTestbedEnvWith(ncclsim.MCCS, seed, func(c *mccsd.Config) {
+	env, rec, err := harness.NewTestbedEnvTraced(ncclsim.MCCS, seed, chaosTraceCap, func(c *mccsd.Config) {
 		c.Proxy.ExecObserver = led.observe
 		c.Proxy.UnsafeSkipSeqBarrier = sc.SkipSeqBarrier
 	})
@@ -140,7 +142,38 @@ func RunSeed(sc Scenario, seed uint64) Result {
 	res.Tail = append([]TraceEntry(nil), tr.tail...)
 
 	res.Err = checkInvariants(env, sc, led, simErr, rankErrs, finished)
+	if res.Err != nil {
+		res.TracePath = dumpTrace(env, rec, sc, seed)
+	}
 	return res
+}
+
+// chaosTraceCap bounds the per-seed flight-recorder ring. Chaos
+// workloads are small (a few thousand spans); a compact ring keeps
+// sweeps over hundreds of seeds from thrashing the allocator.
+const chaosTraceCap = 1 << 15
+
+// dumpTrace writes the failing run's full span recording to a temp file
+// as Chrome trace-event JSON and returns its path ("" if the dump itself
+// failed — the replay coordinates in Result still identify the run).
+func dumpTrace(env *harness.Env, rec *trace.Recorder, sc Scenario, seed uint64) string {
+	if rec == nil {
+		return ""
+	}
+	env.Fabric.FlushTrace()
+	f, err := os.CreateTemp("", fmt.Sprintf("mccs-chaos-%s-seed%x-*.trace.json", sc.Name, seed))
+	if err != nil {
+		return ""
+	}
+	if err := trace.WriteChrome(f, rec.Snapshot()); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return ""
+	}
+	if err := f.Close(); err != nil {
+		return ""
+	}
+	return f.Name()
 }
 
 // runRank issues the scripted collectives for one rank with a bounded

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mccs/internal/sim"
+	"mccs/internal/trace"
 )
 
 // DeviceConfig sets a device's cost model.
@@ -39,12 +40,13 @@ func DefaultConfig() DeviceConfig {
 
 // Device is one simulated GPU.
 type Device struct {
-	ID        int
-	cfg       DeviceConfig
-	s         *sim.Scheduler
-	allocated int64
-	nextBuf   int
-	buffers   map[int]*Buffer
+	ID         int
+	cfg        DeviceConfig
+	s          *sim.Scheduler
+	allocated  int64
+	nextBuf    int
+	nextStream int
+	buffers    map[int]*Buffer
 
 	// slow divides the effective memory bandwidth; 1 is nominal speed.
 	// Fault injection uses it to turn the device into a straggler.
@@ -278,6 +280,7 @@ type op struct {
 type Stream struct {
 	dev   *Device
 	name  string
+	id    int // per-device stream index, for the flight recorder's rows
 	queue []op
 	busy  bool
 	// depth counts queued plus running ops, for tests.
@@ -286,7 +289,8 @@ type Stream struct {
 
 // NewStream creates a stream on the device.
 func (d *Device) NewStream(name string) *Stream {
-	return &Stream{dev: d, name: name}
+	d.nextStream++
+	return &Stream{dev: d, name: name, id: d.nextStream}
 }
 
 // Depth returns the number of pending operations (including the running
@@ -306,9 +310,23 @@ func (st *Stream) start(o op) {
 	st.busy = true
 	switch o.kind {
 	case opKernel:
+		t0 := st.dev.s.Now()
 		st.dev.s.After(o.dur, func() {
 			if o.fn != nil {
 				o.fn()
+			}
+			// Unnamed kernels are synchronization placeholders, not work.
+			if o.name != "" {
+				if rec := trace.Of(st.dev.s); rec.Enabled(trace.KindKernel) {
+					rec.Emit(trace.Span{
+						Kind: trace.KindKernel, Op: -1,
+						Start: t0, End: st.dev.s.Now(),
+						Host: -1, GPU: int32(st.dev.ID),
+						Rank: -1, Peer: -1, Channel: -1, Gen: -1, Step: -1,
+						Flow: int64(st.id), Label: o.name,
+						Src: -1, Dst: -1,
+					})
+				}
 			}
 			st.finish()
 		})

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"os"
 
 	"mccs/internal/collective"
 	"mccs/internal/gpusim"
@@ -18,6 +19,7 @@ import (
 	"mccs/internal/sim"
 	"mccs/internal/spec"
 	"mccs/internal/topo"
+	"mccs/internal/trace"
 )
 
 // Env is one experiment environment.
@@ -37,7 +39,7 @@ func NewTestbedEnv(system ncclsim.System) (*Env, error) {
 // repeated trials sample the ECMP collision distribution (the paper's
 // shaded percentile bands come from exactly this variance).
 func NewTestbedEnvSalted(system ncclsim.System, salt uint64) (*Env, error) {
-	return newTestbedEnv(system, salt, nil)
+	return newTestbedEnv(system, salt, nil, 0)
 }
 
 // NewTestbedEnvWith is NewTestbedEnvSalted plus a service-config mutation
@@ -45,15 +47,34 @@ func NewTestbedEnvSalted(system ncclsim.System, salt uint64) (*Env, error) {
 // to install exec observers and protocol weakenings; ablation drivers use
 // it to override individual cost-model knobs.
 func NewTestbedEnvWith(system ncclsim.System, salt uint64, mutate func(*mccsd.Config)) (*Env, error) {
-	return newTestbedEnv(system, salt, mutate)
+	return newTestbedEnv(system, salt, mutate, 0)
 }
 
-func newTestbedEnv(system ncclsim.System, salt uint64, mutate func(*mccsd.Config)) (*Env, error) {
+// NewTestbedEnvTraced is NewTestbedEnvWith with a full-detail flight
+// recorder (ring of traceCap spans; <= 0 selects trace.DefaultCapacity)
+// attached before the deployment is built, so every layer's spans — not
+// just op lifecycles — are captured. The chaos harness uses it to dump
+// the complete schedule of a failing seed.
+func NewTestbedEnvTraced(system ncclsim.System, salt uint64, traceCap int, mutate func(*mccsd.Config)) (*Env, *trace.Recorder, error) {
+	if traceCap <= 0 {
+		traceCap = trace.DefaultCapacity
+	}
+	env, err := newTestbedEnv(system, salt, mutate, traceCap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return env, trace.Of(env.S), nil
+}
+
+func newTestbedEnv(system ncclsim.System, salt uint64, mutate func(*mccsd.Config), traceCap int) (*Env, error) {
 	cluster, err := topo.BuildClos(topo.TestbedConfig())
 	if err != nil {
 		return nil, err
 	}
 	s := sim.New()
+	if traceCap > 0 {
+		trace.Attach(s, trace.NewRecorder(trace.LevelFull, traceCap))
+	}
 	fabric := netsim.NewFabric(s, cluster.Net)
 	cfg := ncclsim.Config(system)
 	cfg.Proxy.LabelSalt = salt
@@ -62,6 +83,28 @@ func newTestbedEnv(system ncclsim.System, salt uint64, mutate func(*mccsd.Config
 	}
 	dep := mccsd.NewDeployment(s, cluster, fabric, cfg)
 	return &Env{S: s, Cluster: cluster, Fabric: fabric, Deployment: dep}, nil
+}
+
+// WriteTraceFile flushes still-active flows into the scheduler's flight
+// recorder and exports the recording as Chrome trace-event JSON at path.
+// Harness drivers call it at experiment end when a -trace flag is set.
+func WriteTraceFile(path string, s *sim.Scheduler, fabric *netsim.Fabric) error {
+	rec := trace.Of(s)
+	if rec == nil {
+		return fmt.Errorf("harness: no trace recorder attached")
+	}
+	if fabric != nil {
+		fabric.FlushTrace()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, rec.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // InterleavedHosts returns the testbed hosts in rack-interleaved order
@@ -131,6 +174,10 @@ type SingleAppConfig struct {
 	// benchmark observes the per-operation datapath latency; deeper
 	// pipelining overlaps command latency with execution.
 	Pipeline int
+	// TracePath, when set, records the first trial at full detail and
+	// writes Chrome trace-event JSON there (view in Perfetto or dump
+	// with cmd/mccs-trace). Later trials run untraced.
+	TracePath string
 }
 
 // SingleAppResult aggregates one Fig. 6 cell.
@@ -155,7 +202,11 @@ func RunSingleApp(cfg SingleAppConfig) (SingleAppResult, error) {
 	}
 	var algbw []float64
 	for trial := 0; trial < cfg.Trials; trial++ {
-		vals, err := runSingleTrial(cfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15)
+		tcfg := cfg
+		if trial > 0 {
+			tcfg.TracePath = ""
+		}
+		vals, err := runSingleTrial(tcfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15)
 		if err != nil {
 			return SingleAppResult{}, err
 		}
@@ -215,7 +266,11 @@ func runSingleMutated(cfg SingleAppConfig, mutate func(*mccsd.Config)) (SingleAp
 	}
 	var algbw []float64
 	for trial := 0; trial < cfg.Trials; trial++ {
-		vals, err := runSingleTrialMutated(cfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15, mutate)
+		tcfg := cfg
+		if trial > 0 {
+			tcfg.TracePath = ""
+		}
+		vals, err := runSingleTrialMutated(tcfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15, mutate)
 		if err != nil {
 			return SingleAppResult{}, err
 		}
@@ -238,7 +293,11 @@ func runSingleTrial(cfg SingleAppConfig, salt uint64) ([]float64, error) {
 }
 
 func runSingleTrialMutated(cfg SingleAppConfig, salt uint64, mutate func(*mccsd.Config)) ([]float64, error) {
-	env, err := newTestbedEnv(cfg.System, salt, mutate)
+	traceCap := 0
+	if cfg.TracePath != "" {
+		traceCap = trace.DefaultCapacity
+	}
+	env, err := newTestbedEnv(cfg.System, salt, mutate, traceCap)
 	if err != nil {
 		return nil, err
 	}
@@ -310,6 +369,11 @@ func runSingleTrialMutated(cfg SingleAppConfig, salt uint64, mutate func(*mccsd.
 	for _, e := range errs {
 		if e != nil {
 			return nil, e
+		}
+	}
+	if cfg.TracePath != "" {
+		if err := WriteTraceFile(cfg.TracePath, env.S, env.Fabric); err != nil {
+			return nil, err
 		}
 	}
 	return algbw, nil

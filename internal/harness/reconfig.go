@@ -11,6 +11,7 @@ import (
 	"mccs/internal/sim"
 	"mccs/internal/spec"
 	"mccs/internal/topo"
+	"mccs/internal/trace"
 	"mccs/internal/transport"
 )
 
@@ -32,6 +33,10 @@ type ReconfigConfig struct {
 	// (the ablation showing why message serialization matters for
 	// recovery after phase skew).
 	UnserializedConns bool
+	// TracePath, when set, records the run at full detail and writes
+	// Chrome trace-event JSON there. The trace shows the background flow
+	// start, the reconfiguration barrier phases, and the rate recovery.
+	TracePath string
 }
 
 // DefaultReconfigConfig mirrors the paper's scenario: 100 G switch links,
@@ -72,6 +77,9 @@ func RunReconfigShowcase(cfg ReconfigConfig) (ReconfigResult, error) {
 		return ReconfigResult{}, err
 	}
 	s := sim.New()
+	if cfg.TracePath != "" {
+		trace.Attach(s, trace.NewRecorder(trace.LevelFull, trace.DefaultCapacity))
+	}
 	fabric := netsim.NewFabric(s, cluster.Net)
 	svcCfg := ncclsim.Config(ncclsim.MCCS)
 	if cfg.MaxSlices > 0 {
@@ -173,6 +181,11 @@ func RunReconfigShowcase(cfg ReconfigConfig) (ReconfigResult, error) {
 	}
 	if len(errs) > 0 {
 		return ReconfigResult{}, errs[0]
+	}
+	if cfg.TracePath != "" {
+		if err := WriteTraceFile(cfg.TracePath, s, fabric); err != nil {
+			return ReconfigResult{}, err
+		}
 	}
 
 	res := ReconfigResult{Series: series}

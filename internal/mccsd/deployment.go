@@ -20,6 +20,7 @@ import (
 	"mccs/internal/sim"
 	"mccs/internal/spec"
 	"mccs/internal/topo"
+	"mccs/internal/trace"
 	"mccs/internal/transport"
 )
 
@@ -126,7 +127,50 @@ func NewDeployment(s *sim.Scheduler, cluster *topo.Cluster, fabric *netsim.Fabri
 		gid := topo.GPUID(g)
 		d.devices[gid] = gpusim.NewDevice(s, g, cfg.Device)
 	}
+	// The flight recorder is always on: if the harness did not attach
+	// one (e.g. a LevelFull recorder for a -trace run), install the
+	// ops-level default — the management API (CommTrace) and the TS
+	// policy read collective history out of it.
+	rec := trace.Of(s)
+	if rec == nil {
+		rec = trace.NewRecorder(trace.LevelOps, trace.OpsCapacity)
+		trace.Attach(s, rec)
+	}
+	registerTopology(rec, cluster)
 	return d
+}
+
+// registerTopology hands the recorder the name/ID maps the exporter and
+// the attribution pass need: host names, GPU->host and fabric-node->host
+// placement, and the fabric's link names and capacities.
+func registerTopology(rec *trace.Recorder, cluster *topo.Cluster) {
+	hosts := make([]string, len(cluster.Hosts))
+	for h := range cluster.Hosts {
+		hosts[h] = fmt.Sprintf("host%d", h)
+	}
+	gpuHost := make([]int32, len(cluster.GPUs))
+	for g := range cluster.GPUs {
+		gpuHost[g] = int32(cluster.HostOfGPU(topo.GPUID(g)))
+	}
+	nodeHost := make([]int32, cluster.Net.NumNodes())
+	for i := range nodeHost {
+		nodeHost[i] = -1
+	}
+	nodeNames := make([]string, cluster.Net.NumNodes())
+	for i := range nodeNames {
+		nodeNames[i] = cluster.Net.NodeName(netsim.NodeID(i))
+	}
+	for n := range cluster.NICs {
+		nic := topo.NICID(n)
+		nodeHost[cluster.NICNode(nic)] = int32(cluster.NICs[nic].Host)
+	}
+	links := make([]trace.LinkMeta, cluster.Net.NumLinks())
+	for l := range links {
+		lk := cluster.Net.Link(netsim.LinkID(l))
+		links[l] = trace.LinkMeta{Name: lk.Name, CapBps: lk.Capacity}
+	}
+	rec.SetTopology(hosts, gpuHost, nodeHost, nodeNames)
+	rec.SetLinks(links)
 }
 
 // Config returns the deployment's configuration.
@@ -275,6 +319,7 @@ func (d *Deployment) register(key string, app spec.AppID, nranks, rank int, gpu 
 			return r.fut, nil
 		}
 		d.comms[info.ID] = comm
+		trace.Of(d.S).NoteComm(int32(info.ID), string(app))
 		r.fut.Set(d.S, commOrErr{comm: comm})
 	}
 	return r.fut, nil

@@ -7,6 +7,7 @@ import (
 	"mccs/internal/proxy"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
+	"mccs/internal/trace"
 	"mccs/internal/transport"
 )
 
@@ -140,9 +141,12 @@ func (d *Deployment) CheckQuiescent() error {
 	return nil
 }
 
-// CommTrace returns the collective trace of one rank of a communicator
-// (the fine-grained tracing the TS policy analyzes for idle cycles).
-func (d *Deployment) CommTrace(id spec.CommID, rank int) ([]proxy.TraceEntry, error) {
+// CommTrace returns the collective history of one rank of a
+// communicator (the fine-grained tracing the TS policy analyzes for
+// idle cycles). It is a thin view over the flight recorder: the proxy
+// emits one op-lifecycle span per executed collective and this filters
+// them by (communicator, rank).
+func (d *Deployment) CommTrace(id spec.CommID, rank int) ([]trace.Span, error) {
 	c, ok := d.comms[id]
 	if !ok {
 		return nil, fmt.Errorf("mccsd: unknown communicator %d", id)
@@ -150,5 +154,5 @@ func (d *Deployment) CommTrace(id spec.CommID, rank int) ([]proxy.TraceEntry, er
 	if rank < 0 || rank >= len(c.Runners) {
 		return nil, fmt.Errorf("mccsd: rank %d out of range", rank)
 	}
-	return c.Runners[rank].Trace(), nil
+	return trace.Of(d.S).OpSpans(int32(id), int32(rank)), nil
 }

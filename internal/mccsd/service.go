@@ -9,6 +9,7 @@ import (
 	"mccs/internal/sim"
 	"mccs/internal/spec"
 	"mccs/internal/topo"
+	"mccs/internal/trace"
 )
 
 // Service is the per-host MCCS service instance. Tenants reach it through
@@ -232,7 +233,8 @@ func (c *Comm) issue(p *sim.Proc, op collective.Op, root int, count int64, send,
 	if op == collective.AllGather {
 		outBytes *= int64(c.Size())
 	}
-	req := &proxy.OpRequest{
+	var req *proxy.OpRequest
+	req = &proxy.OpRequest{
 		Op: op, Root: root, Count: count,
 		SendBuf: send, RecvBuf: recv,
 		AppEvent: appInst,
@@ -240,6 +242,22 @@ func (c *Comm) issue(p *sim.Proc, op collective.Op, root int, count int64, send,
 			s.After(d.cfg.CompletionLatency, func() {
 				fire()
 				h.done.Set(s, OpStats{Op: op, Issued: issued, Done: s.Now(), Bytes: outBytes})
+				// The cmd span measures the full shim round-trip the
+				// tenant observes: command-queue delivery, execution,
+				// and the completion notification path (the paper's
+				// 50-80us datapath overhead brackets the collective).
+				if rec := trace.Of(s); rec.Enabled(trace.KindCmd) {
+					rec.Emit(trace.Span{
+						Kind: trace.KindCmd, Op: int32(op),
+						Start: issued, End: s.Now(),
+						Host: int32(c.f.sv.host), GPU: int32(c.dev.ID),
+						Comm: int32(c.ID()), Rank: int32(c.rank),
+						Peer: -1, Channel: -1, Step: -1, Gen: -1,
+						Seq: req.Sequence(), Bytes: outBytes,
+						Label: string(c.f.app),
+						Flow:  -1, Src: -1, Dst: -1,
+					})
+				}
 			})
 		},
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mccs/internal/sim"
+	"mccs/internal/trace"
 )
 
 // completion tolerance, in bytes: a flow with this much or less remaining
@@ -27,6 +28,10 @@ type Flow struct {
 	Route    []LinkID
 	Label    uint64
 
+	// Tag identifies the collective step this flow carries, for the
+	// flight recorder (zero for untagged/external traffic).
+	Tag trace.FlowTag
+
 	bytes    float64 // total demand; +Inf for endless (background) flows
 	done     float64
 	rate     float64 // current allocated rate, bytes/sec
@@ -39,6 +44,13 @@ type Flow struct {
 	onDone   []func()
 	finished bool
 	canceled bool
+
+	// Flight-recorder state: when the flow started, its rate history
+	// (appended only while a LevelFull recorder is attached), and
+	// whether its span has already been emitted.
+	start     sim.Time
+	samples   []trace.RateSample
+	traceDone bool
 }
 
 // OnDone registers a callback invoked (in scheduler context) when the flow
@@ -94,6 +106,9 @@ type FlowOpts struct {
 	// Group, if non-nil, couples this flow's progress to the group's
 	// bottleneck member.
 	Group *Group
+	// Tag labels the flow with the collective step it carries, for the
+	// flight recorder.
+	Tag trace.FlowTag
 }
 
 // Fabric is the dynamic state of the network: the set of active flows and
@@ -169,9 +184,11 @@ func (fb *Fabric) StartFlow(o FlowOpts) *Flow {
 	fb.nextFlowID++
 	fl := &Flow{
 		ID: fb.nextFlowID, Src: o.Src, Dst: o.Dst, Route: route, Label: o.Label,
+		Tag:   o.Tag,
 		bytes: bytes, maxRate: maxRate, priority: priority, external: o.External,
 		group:  o.Group,
 		doneEv: &sim.Event{},
+		start:  fb.s.Now(),
 	}
 	if fl.group != nil {
 		fl.group.flows[fl] = struct{}{}
@@ -190,8 +207,61 @@ func (fb *Fabric) CancelFlow(fl *Flow) {
 	}
 	fb.progress()
 	fl.canceled = true
+	fb.emitFlow(fl, trace.Of(fb.s))
 	fb.remove(fl)
 	fb.recompute()
+}
+
+// emitFlow records the flow's transmit span: its route, the bytes it
+// delivered, and its full rate/bottleneck history. Each flow emits at
+// most once (completion, cancellation, or FlushTrace, whichever comes
+// first).
+func (fb *Fabric) emitFlow(fl *Flow, rec *trace.Recorder) {
+	if fl.traceDone || !rec.Enabled(trace.KindFlow) {
+		return
+	}
+	fl.traceDone = true
+	route := make([]int32, len(fl.Route))
+	for i, l := range fl.Route {
+		route[i] = int32(l)
+	}
+	sp := trace.Span{
+		Kind: trace.KindFlow, Op: fl.Tag.Op,
+		Start: fl.start, End: fb.s.Now(),
+		Host: -1, GPU: -1,
+		Comm: fl.Tag.Comm, Rank: fl.Tag.From, Peer: fl.Tag.To,
+		Channel: fl.Tag.Channel, Gen: fl.Tag.Gen, Step: fl.Tag.Step, Seq: fl.Tag.Seq,
+		Flow: int64(fl.ID), Bytes: int64(fl.done),
+		Src: int32(fl.Src), Dst: int32(fl.Dst),
+		Route: route, Rates: fl.samples,
+	}
+	if fl.Tag.Comm == 0 {
+		sp.Op, sp.Rank, sp.Peer = -1, -1, -1
+	}
+	if fl.external {
+		sp.Label = "external"
+	}
+	rec.Emit(sp)
+}
+
+// FlushTrace emits transmit spans for flows still active at the current
+// instant — endless background flows and any transfer in flight when
+// the run ends would otherwise never appear in the trace. Flushed flows
+// keep running; their spans simply close at the flush time.
+func (fb *Fabric) FlushTrace() {
+	rec := trace.Of(fb.s)
+	if !rec.Enabled(trace.KindFlow) {
+		return
+	}
+	fb.progress()
+	ordered := make([]*Flow, 0, len(fb.flows))
+	for _, fl := range fb.flows {
+		ordered = append(ordered, fl)
+	}
+	sortFlows(ordered)
+	for _, fl := range ordered {
+		fb.emitFlow(fl, rec)
+	}
 }
 
 func (fb *Fabric) remove(fl *Flow) {
@@ -311,31 +381,46 @@ func (fb *Fabric) allocate() {
 			break
 		}
 	}
+	// bott remembers, for every flow, the link that froze it in the
+	// water-fill that fixed its rate — the flow's bottleneck, recorded
+	// into its rate history for the flight recorder's attribution.
+	bott := make(map[*Flow]LinkID)
 	if hasPriority {
-		prio := fb.waterfill(frozen, func(fl *Flow) bool { return fl.priority })
+		prio, pb := fb.waterfill(frozen, func(fl *Flow) bool { return fl.priority })
 		for fl, r := range prio {
 			frozen[fl] = r
+			bott[fl] = bottleneckOf(pb, fl)
 		}
 	}
 	for {
-		rates := fb.waterfill(frozen, func(fl *Flow) bool { return true })
+		rates, rb := fb.waterfill(frozen, func(fl *Flow) bool { return true })
 		// Find the unfrozen group with the smallest member-minimum rate.
 		var pick *Group
+		var pickSlowest *Flow
 		pickMin := math.Inf(1)
 		for _, fl := range fb.flows {
 			g := fl.group
 			if g == nil || groupFrozen[g] || len(g.flows) == 0 {
 				continue
 			}
-			gmin := math.Inf(1)
+			// Deterministic slowest-member choice on rate ties.
+			members := make([]*Flow, 0, len(g.flows))
 			for m := range g.flows {
+				members = append(members, m)
+			}
+			sortFlows(members)
+			gmin := math.Inf(1)
+			var slowest *Flow
+			for _, m := range members {
 				if r := rates[m]; r < gmin {
 					gmin = r
+					slowest = m
 				}
 			}
 			if gmin < pickMin || (gmin == pickMin && pick != nil && g.id < pick.id) {
 				pickMin = gmin
 				pick = g
+				pickSlowest = slowest
 			}
 		}
 		if pick == nil {
@@ -345,6 +430,7 @@ func (fb *Fabric) allocate() {
 					fl.rate = r
 				} else {
 					fl.rate = rates[fl]
+					bott[fl] = bottleneckOf(rb, fl)
 				}
 				for _, l := range fl.Route {
 					fb.linkRate[l] += fl.rate
@@ -353,19 +439,77 @@ func (fb *Fabric) allocate() {
 					}
 				}
 			}
+			fb.sampleRates(ordered, bott)
 			return
 		}
 		groupFrozen[pick] = true
 		for m := range pick.flows {
 			frozen[m] = pickMin
+			// Group members are pinned to the slowest member's rate, so
+			// its bottleneck is theirs.
+			bott[m] = bottleneckOf(rb, pickSlowest)
 		}
 	}
 }
 
+// bottleneckOf reads a water-fill bottleneck map, mapping "never
+// frozen" to -1 (the map's zero value is a real link ID).
+func bottleneckOf(m map[*Flow]LinkID, fl *Flow) LinkID {
+	if fl == nil {
+		return -1
+	}
+	if b, ok := m[fl]; ok {
+		return b
+	}
+	return -1
+}
+
+// maxSamples bounds a single flow's recorded rate history; an endless
+// background flow on a busy fabric would otherwise grow without bound.
+const maxSamples = 512
+
+// sampleRates appends a rate sample to every flow whose allocation
+// changed, when a LevelFull recorder is attached. Flows are visited in
+// ID order and each sample captures the flow's bottleneck link and that
+// link's aggregate/external load, which is all the attribution pass
+// needs.
+func (fb *Fabric) sampleRates(ordered []*Flow, bott map[*Flow]LinkID) {
+	rec := trace.Of(fb.s)
+	if !rec.Enabled(trace.KindFlow) {
+		return
+	}
+	now := fb.s.Now()
+	for _, fl := range ordered {
+		b, ok := bott[fl]
+		if !ok {
+			b = -1
+		}
+		s := trace.RateSample{T: now, Bps: fl.rate, Bottleneck: int32(b)}
+		if b >= 0 {
+			s.LinkBps = fb.linkRate[b]
+			s.ExtBps = fb.externalRate[b]
+			s.CapBps = fb.net.links[b].Capacity
+		}
+		if n := len(fl.samples); n > 0 {
+			last := fl.samples[n-1]
+			if last.Bps == s.Bps && last.Bottleneck == s.Bottleneck &&
+				last.LinkBps == s.LinkBps && last.ExtBps == s.ExtBps && last.CapBps == s.CapBps {
+				continue
+			}
+			if n >= maxSamples {
+				continue
+			}
+		}
+		fl.samples = append(fl.samples, s)
+	}
+}
+
 // waterfill runs classic progressive filling over the non-frozen flows,
-// treating frozen flows as fixed background load. It returns the rate for
-// every non-frozen flow.
-func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) map[*Flow]float64 {
+// treating frozen flows as fixed background load. It returns the rate
+// for every non-frozen flow, plus the link that saturated and froze
+// each flow (-1 for flows stopped by their own rate cap or by nothing
+// at all) — the per-fill bottleneck record the flight recorder samples.
+func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) (map[*Flow]float64, map[*Flow]LinkID) {
 	remCap := make([]float64, fb.net.NumLinks())
 	nActive := make([]int, fb.net.NumLinks())
 	touched := make([]LinkID, 0, 64)
@@ -406,6 +550,7 @@ func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) 
 	}
 
 	rates := make(map[*Flow]float64, len(active))
+	bneck := make(map[*Flow]LinkID, len(active))
 	level := make(map[*Flow]float64, len(active))
 	frozenHere := make(map[*Flow]bool, len(active))
 	remaining := len(active)
@@ -435,6 +580,7 @@ func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) 
 			for _, fl := range active {
 				if !frozenHere[fl] {
 					rates[fl] = level[fl]
+					bneck[fl] = -1
 				}
 			}
 			break
@@ -460,10 +606,12 @@ func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) 
 				continue
 			}
 			stop := fl.maxRate > 0 && level[fl] >= fl.maxRate-capEps
+			blink := LinkID(-1)
 			if !stop {
 				for _, l := range fl.Route {
 					if remCap[l] <= capEps {
 						stop = true
+						blink = l
 						break
 					}
 				}
@@ -471,6 +619,7 @@ func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) 
 			if stop {
 				frozenHere[fl] = true
 				rates[fl] = level[fl]
+				bneck[fl] = blink
 				remaining--
 				for _, l := range fl.Route {
 					nActive[l]--
@@ -478,7 +627,7 @@ func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) 
 			}
 		}
 	}
-	return rates
+	return rates, bneck
 }
 
 func sortFlows(fs []*Flow) {
@@ -538,9 +687,11 @@ func (fb *Fabric) onTimer() {
 		}
 	}
 	sortFlows(completed)
+	rec := trace.Of(fb.s)
 	for _, fl := range completed {
 		fl.done = fl.bytes
 		fl.finished = true
+		fb.emitFlow(fl, rec)
 		fb.remove(fl)
 	}
 	fb.recompute()

@@ -6,10 +6,10 @@ import (
 	"testing/quick"
 	"time"
 
-	"mccs/internal/proxy"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
 	"mccs/internal/topo"
+	"mccs/internal/trace"
 )
 
 func testbed(t *testing.T) *topo.Cluster {
@@ -217,13 +217,14 @@ func TestPFAReservesRoutesForPriorityApp(t *testing.T) {
 	}
 }
 
-func mkTrace(period, busy time.Duration, n int) []proxy.TraceEntry {
-	var tr []proxy.TraceEntry
+func mkTrace(period, busy time.Duration, n int) []trace.Span {
+	var tr []trace.Span
 	for i := 0; i < n; i++ {
 		start := sim.Time(time.Duration(i) * period)
-		tr = append(tr, proxy.TraceEntry{Result: proxy.OpResult{
-			Seq: uint64(i + 1), Start: start, End: start.Add(busy), Bytes: 1 << 20,
-		}})
+		tr = append(tr, trace.Span{
+			Kind: trace.KindOp, Seq: uint64(i + 1),
+			Start: start, End: start.Add(busy), Bytes: 1 << 20,
+		})
 	}
 	return tr
 }

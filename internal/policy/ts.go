@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"mccs/internal/proxy"
 	"mccs/internal/sim"
+	"mccs/internal/trace"
 	"mccs/internal/transport"
 )
 
@@ -24,23 +24,24 @@ const minTSEntries = 4
 // schedule).
 const tsWindow = 48
 
-// ComputeTS analyzes the trace and returns the complementary schedule.
-// guard pads the busy window on both sides to absorb jitter.
-func ComputeTS(trace []proxy.TraceEntry, guard time.Duration) (transport.Schedule, error) {
-	if len(trace) < minTSEntries {
-		return transport.Schedule{}, fmt.Errorf("policy: trace has %d entries, need >= %d", len(trace), minTSEntries)
+// ComputeTS analyzes the op-lifecycle spans (one per executed collective,
+// as returned by Deployment.CommTrace) and returns the complementary
+// schedule. guard pads the busy window on both sides to absorb jitter.
+func ComputeTS(spans []trace.Span, guard time.Duration) (transport.Schedule, error) {
+	if len(spans) < minTSEntries {
+		return transport.Schedule{}, fmt.Errorf("policy: trace has %d entries, need >= %d", len(spans), minTSEntries)
 	}
-	if len(trace) > tsWindow {
-		trace = trace[len(trace)-tsWindow:]
+	if len(spans) > tsWindow {
+		spans = spans[len(spans)-tsWindow:]
 	}
 	// Iteration period: mean gap between consecutive collective starts.
 	// Training loops issue the same collective pattern every iteration,
 	// so consecutive-start deltas cluster around the true period.
 	var gaps time.Duration
-	for i := 1; i < len(trace); i++ {
-		gaps += trace[i].Result.Start.Sub(trace[i-1].Result.Start)
+	for i := 1; i < len(spans); i++ {
+		gaps += spans[i].Start.Sub(spans[i-1].Start)
 	}
-	period := gaps / time.Duration(len(trace)-1)
+	period := gaps / time.Duration(len(spans)-1)
 	if period <= 0 {
 		return transport.Schedule{}, fmt.Errorf("policy: non-positive period estimate")
 	}
@@ -49,11 +50,11 @@ func ComputeTS(trace []proxy.TraceEntry, guard time.Duration) (transport.Schedul
 	// most recent collective as the phase anchor and a robust upper
 	// percentile of the recent durations as the busy length (the max is
 	// too sensitive to one congested outlier).
-	last := trace[len(trace)-1].Result
+	last := spans[len(spans)-1]
 	phase := time.Duration(last.Start) % period
-	durs := make([]time.Duration, 0, len(trace))
-	for _, e := range trace {
-		durs = append(durs, e.Result.Elapsed())
+	durs := make([]time.Duration, 0, len(spans))
+	for _, sp := range spans {
+		durs = append(durs, sp.Dur())
 	}
 	sortDurations(durs)
 	busy := durs[(len(durs)*9)/10]
@@ -89,19 +90,19 @@ func ComputeTS(trace []proxy.TraceEntry, guard time.Duration) (transport.Schedul
 // IdleFraction reports how much of the estimated period the traced
 // application leaves the network idle — the headroom TS can hand to other
 // tenants.
-func IdleFraction(trace []proxy.TraceEntry) float64 {
-	if len(trace) < 2 {
+func IdleFraction(spans []trace.Span) float64 {
+	if len(spans) < 2 {
 		return 0
 	}
 	var gaps, busy time.Duration
-	for i := 1; i < len(trace); i++ {
-		gaps += trace[i].Result.Start.Sub(trace[i-1].Result.Start)
+	for i := 1; i < len(spans); i++ {
+		gaps += spans[i].Start.Sub(spans[i-1].Start)
 	}
-	period := gaps / time.Duration(len(trace)-1)
-	for _, e := range trace {
-		busy += e.Result.Elapsed()
+	period := gaps / time.Duration(len(spans)-1)
+	for _, sp := range spans {
+		busy += sp.Dur()
 	}
-	meanBusy := busy / time.Duration(len(trace))
+	meanBusy := busy / time.Duration(len(spans))
 	if period <= 0 {
 		return 0
 	}

@@ -5,12 +5,9 @@ import (
 
 	"mccs/internal/collective"
 	"mccs/internal/sim"
+	"mccs/internal/trace"
 	"mccs/internal/transport"
 )
-
-// maxTrace bounds the per-runner trace history handed to the management
-// plane.
-const maxTrace = 4096
 
 // execute runs one collective to completion for this rank. Execution is
 // lock-step with the peers through the data dependencies of the ring:
@@ -60,10 +57,20 @@ func (r *Runner) execute(p *sim.Proc, op *OpRequest) {
 	if op.CompleteFire != nil {
 		op.CompleteFire()
 	}
-	r.trace = append(r.trace, TraceEntry{Result: res})
-	if len(r.trace) > maxTrace {
-		r.trace = r.trace[len(r.trace)-maxTrace:]
-	}
+	// The op-lifecycle span doubles as the management-plane record: the
+	// Deployment.CommTrace API and the TS policy read it back out of the
+	// recorder. Span is a value struct, so this emits without allocating
+	// — and is a branch-and-return when recording is off.
+	r.comm.rec.Emit(trace.Span{
+		Kind: trace.KindOp, Op: int32(op.Op),
+		Start: start, End: p.Now(),
+		Host: int32(r.comm.Info.Ranks[r.rank].Host),
+		GPU:  int32(r.comm.Info.Ranks[r.rank].GPU),
+		Comm: int32(r.comm.Info.ID), Rank: int32(r.rank),
+		Peer: -1, Channel: -1, Step: -1,
+		Gen: int32(r.gen), Seq: op.seq, Bytes: outBytes,
+		Flow: -1, Src: -1, Dst: -1,
+	})
 	if op.Done != nil {
 		op.Done.Set(r.comm.s, res)
 	}
@@ -150,7 +157,7 @@ func (r *Runner) runTree(p *sim.Proc, op *OpRequest, cs *connSet) {
 	}
 	p.Sleep(r.comm.cfg.KernelLaunch)
 	backed := op.RecvBuf != nil && op.RecvBuf.Backed()
-	for _, round := range rounds {
+	for ri, round := range rounds {
 		if !round.Active {
 			// Peers in this round exchange without us; nothing blocks
 			// our round counter because each transfer pairs sender and
@@ -164,7 +171,11 @@ func (r *Runner) runTree(p *sim.Proc, op *OpRequest, cs *connSet) {
 			if backed {
 				data = append([]float32(nil), op.RecvBuf.Data()[:op.Count]...)
 			}
-			conn.Send(op.Count*4, data, nil)
+			conn.SendTagged(op.Count*4, data, nil, trace.FlowTag{
+				Comm: int32(r.comm.Info.ID), From: int32(r.rank), To: int32(tr.Peer),
+				Channel: 0, Gen: int32(r.gen), Step: int32(ri),
+				Op: int32(op.Op), Seq: op.seq,
+			})
 			continue
 		}
 		conn := cs.tree[[2]int{tr.Peer, r.rank}]
@@ -227,8 +238,9 @@ func (r *Runner) runChannel(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
 	cfg := r.comm.cfg
 
 	var sendConn, recvConn *transport.Conn
-	if sp := collective.SendPeer(op.Op, ring, r.rank, op.Root); sp != r.rank {
-		sendConn = cs.conns[ch][[2]int{r.rank, sp}]
+	sendPeer := collective.SendPeer(op.Op, ring, r.rank, op.Root)
+	if sendPeer != r.rank {
+		sendConn = cs.conns[ch][[2]int{r.rank, sendPeer}]
 	}
 	if rp := collective.RecvPeer(op.Op, ring, r.rank, op.Root); rp != r.rank {
 		recvConn = cs.conns[ch][[2]int{rp, r.rank}]
@@ -237,8 +249,23 @@ func (r *Runner) runChannel(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
 	// Fused communication kernel launch, once per channel.
 	p.Sleep(cfg.KernelLaunch)
 
+	rec := r.comm.rec
+	traceSteps := rec.Enabled(trace.KindStep)
 	backed := op.RecvBuf != nil && op.RecvBuf.Backed()
-	for _, st := range steps {
+	for si, st := range steps {
+		// The tag rides every message of this step onto its fabric flow,
+		// joining network transfers back to (comm, seq, step) in the
+		// trace. Building it is stack-only, so it costs nothing when
+		// recording is off.
+		tag := trace.FlowTag{
+			Comm: int32(r.comm.Info.ID), From: int32(r.rank), To: int32(sendPeer),
+			Channel: int32(ch), Gen: int32(r.gen), Step: int32(si),
+			Op: int32(op.Op), Seq: op.seq,
+		}
+		var stepStart sim.Time
+		if traceSteps {
+			stepStart = p.Now()
+		}
 		var sOff, sLen, rOff, rLen int64
 		if st.SendRegion >= 0 {
 			sOff, sLen = channelSlice(starts[st.SendRegion], lens[st.SendRegion], nch, ch)
@@ -266,7 +293,7 @@ func (r *Runner) runChannel(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
 				if backed {
 					data = append([]float32(nil), op.RecvBuf.Data()[off:off+l]...)
 				}
-				sendConn.Send(l*4, data, nil)
+				sendConn.SendTagged(l*4, data, nil, tag)
 			}
 			if k < kr && rLens[k] > 0 {
 				off, l := rOff+rStarts[k], rLens[k]
@@ -290,6 +317,18 @@ func (r *Runner) runChannel(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
 					}
 				}
 			}
+		}
+		if traceSteps {
+			rec.Emit(trace.Span{
+				Kind: trace.KindStep, Op: int32(op.Op),
+				Start: stepStart, End: p.Now(),
+				Host: int32(r.comm.Info.Ranks[r.rank].Host),
+				GPU:  int32(r.comm.Info.Ranks[r.rank].GPU),
+				Comm: int32(r.comm.Info.ID), Rank: int32(r.rank), Peer: int32(sendPeer),
+				Channel: int32(ch), Gen: int32(r.gen), Step: int32(si),
+				Seq: op.seq, Bytes: (sLen + rLen) * 4,
+				Flow: -1, Src: -1, Dst: -1,
+			})
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"mccs/internal/gpusim"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
+	"mccs/internal/trace"
 	"mccs/internal/transport"
 )
 
@@ -82,7 +83,10 @@ func (r *Runner) executeP2P(p *sim.Proc, req *P2PRequest) {
 			if backed {
 				data = append([]float32(nil), req.Buf.Data()[starts[i]:starts[i]+lens[i]]...)
 			}
-			conn.Send(lens[i]*4, data, nil)
+			conn.SendTagged(lens[i]*4, data, nil, trace.FlowTag{
+				Comm: int32(r.comm.Info.ID), From: int32(r.rank), To: int32(req.Peer),
+				Channel: -1, Gen: -1, Step: int32(i), Op: -1,
+			})
 		}
 	} else {
 		conn, err := r.comm.p2pConn(req.Peer, r.rank)
@@ -107,6 +111,22 @@ func (r *Runner) executeP2P(p *sim.Proc, req *P2PRequest) {
 
 	if req.CompleteFire != nil {
 		req.CompleteFire()
+	}
+	if rec := r.comm.rec; rec.Enabled(trace.KindP2P) {
+		label := "recv"
+		if req.Send {
+			label = "send"
+		}
+		rec.Emit(trace.Span{
+			Kind: trace.KindP2P, Op: -1,
+			Start: start, End: p.Now(),
+			Host: int32(r.comm.Info.Ranks[r.rank].Host),
+			GPU:  int32(r.comm.Info.Ranks[r.rank].GPU),
+			Comm: int32(r.comm.Info.ID), Rank: int32(r.rank), Peer: int32(req.Peer),
+			Channel: -1, Gen: -1, Step: -1,
+			Bytes: req.Count * 4, Label: label,
+			Flow: -1, Src: -1, Dst: -1,
+		})
 	}
 	if req.Done != nil {
 		req.Done.Set(r.comm.s, OpResult{Start: start, End: p.Now(), Bytes: req.Count * 4})

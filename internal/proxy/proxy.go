@@ -19,6 +19,7 @@ import (
 	"mccs/internal/sim"
 	"mccs/internal/spec"
 	"mccs/internal/topo"
+	"mccs/internal/trace"
 	"mccs/internal/transport"
 )
 
@@ -102,6 +103,11 @@ type OpRequest struct {
 	seq uint64
 }
 
+// Sequence returns the sequence number the runner assigned at launch
+// (0 until then). The shim reads it from completion callbacks to stamp
+// its command-round-trip trace spans.
+func (o *OpRequest) Sequence() uint64 { return o.seq }
+
 // OpResult reports one executed collective.
 type OpResult struct {
 	Seq        uint64
@@ -128,12 +134,6 @@ type shutdownMsg struct{}
 // shutdownMsg.
 type Msg any
 
-// TraceEntry is the management-plane record of one collective, consumed by
-// the TS policy's idle-cycle analysis.
-type TraceEntry struct {
-	Result OpResult
-}
-
 // Comm is the cluster-wide communicator object inside the service: the
 // runners of every rank plus the connection generations they share.
 // Everything here runs in scheduler context.
@@ -145,6 +145,10 @@ type Comm struct {
 	engines map[topo.HostID]*transport.Engine
 	devices map[topo.GPUID]*gpusim.Device
 	ctrl    *control.Ring
+
+	// rec is the flight recorder attached to the scheduler when the
+	// communicator was built (possibly nil — every emit is nil-safe).
+	rec *trace.Recorder
 
 	Runners []*Runner
 
@@ -186,6 +190,7 @@ func NewComm(
 	c := &Comm{
 		Info: info, cfg: cfg, s: s, cluster: cluster,
 		engines: engines, devices: devices, ctrl: ctrl,
+		rec:  trace.Of(s),
 		gens: make(map[int]*connSet),
 	}
 	if _, err := c.connsFor(0, info.Strategy); err != nil {
@@ -383,7 +388,6 @@ type Runner struct {
 	collInFlight int    // collectives launched but not yet completed
 	p2pInFlight  int    // p2p ops launched but not yet completed
 	idleWQ       sim.WaitQueue
-	trace        []TraceEntry
 
 	// pendingReconfigs stashes reconfig requests that arrive while a
 	// reconfiguration drain is already in progress.
@@ -410,11 +414,6 @@ func (r *Runner) Quiescent() bool {
 	return r.queue.Len() == 0 && r.execQ.Len() == 0 &&
 		r.collInFlight == 0 && r.p2pInFlight == 0 &&
 		len(r.pendingReconfigs) == 0
-}
-
-// Trace returns the recorded collective history (most recent last).
-func (r *Runner) Trace() []TraceEntry {
-	return append([]TraceEntry(nil), r.trace...)
 }
 
 // runControl is the command loop: it launches collectives onto the
@@ -516,22 +515,42 @@ func (c *Comm) Destroy() {
 	}
 }
 
+// emitPhase records one reconfiguration barrier phase as a span.
+func (r *Runner) emitPhase(p *sim.Proc, code int32, start sim.Time) {
+	r.comm.rec.Emit(trace.Span{
+		Kind: trace.KindBarrier, Op: code,
+		Start: start, End: p.Now(),
+		Host: int32(r.comm.Info.Ranks[r.rank].Host),
+		GPU:  int32(r.comm.Info.Ranks[r.rank].GPU),
+		Comm: int32(r.comm.Info.ID), Rank: int32(r.rank),
+		Peer: -1, Channel: -1, Step: -1,
+		Gen: int32(r.gen), Seq: r.seq,
+		Flow: -1, Src: -1, Dst: -1,
+	})
+}
+
 // reconfigure implements the Fig. 4 protocol for this rank.
 func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 	if err := req.Strategy.Validate(r.comm.Info.NumRanks()); err != nil {
 		panic(fmt.Sprintf("proxy: reconfigure with bad strategy: %v", err))
 	}
+	traceOn := r.comm.rec.Enabled(trace.KindBarrier)
 	if !r.comm.cfg.UnsafeSkipSeqBarrier {
 		// 1. Exchange last-launched sequence numbers on the control ring.
 		//    This stalls new launches locally (we are not reading the
 		//    command queue) without any fast-path cost when no reconfig is
 		//    pending.
+		t0 := p.Now()
 		vals := r.comm.ctrl.AllGather(p, r.rank, int64(r.seq))
 		maxSeq := uint64(control.Max(vals))
+		if traceOn {
+			r.emitPhase(p, trace.PhaseSeqExchange, t0)
+		}
 
 		// 2. Drain-launch: collectives that peers already launched must
 		//    run under the old configuration. The frontend will deliver
 		//    them; non-op messages that arrive meanwhile are stashed.
+		t0 = p.Now()
 		for r.seq < maxSeq {
 			switch m := r.queue.Pop(p).(type) {
 			case *OpRequest:
@@ -544,6 +563,9 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 				r.stopped = true
 				return
 			}
+		}
+		if traceOn {
+			r.emitPhase(p, trace.PhaseDrain, t0)
 		}
 	}
 
@@ -558,6 +580,7 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 	//    queued P2P requests are launched now (their connections are
 	//    communicator-lifetime, so they may straddle the switch), and
 	//    the idle wait below covers collectives only.
+	barrierStart := p.Now()
 	var stashed []*OpRequest
 	for {
 		m, ok := r.queue.TryPop()
@@ -580,9 +603,13 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 	if !r.comm.cfg.UnsafeSkipSeqBarrier {
 		r.comm.ctrl.AllGather(p, r.rank, int64(r.seq))
 	}
+	if traceOn {
+		r.emitPhase(p, trace.PhaseCompletion, barrierStart)
+	}
 
 	// 4. Tear down this rank's send connections and switch to the next
 	//    generation, rebuilding connections under the new strategy.
+	tearStart := p.Now()
 	old := r.comm.gens[r.gen]
 	for _, chConns := range old.conns {
 		for key, conn := range chConns {
@@ -597,11 +624,18 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 		}
 	}
 	p.Sleep(r.comm.cfg.ConnTeardown)
+	if traceOn {
+		r.emitPhase(p, trace.PhaseTeardown, tearStart)
+	}
+	rebuildStart := p.Now()
 	r.gen++
 	if _, err := r.comm.connsFor(r.gen, req.Strategy); err != nil {
 		panic(fmt.Sprintf("proxy: rebuilding connections: %v", err))
 	}
 	p.Sleep(r.comm.cfg.ConnSetup)
+	if traceOn {
+		r.emitPhase(p, trace.PhaseRebuild, rebuildStart)
+	}
 	// Replay collectives that arrived during the drain under the new
 	// configuration, in arrival order.
 	for _, op := range stashed {

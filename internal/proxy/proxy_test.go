@@ -12,6 +12,7 @@ import (
 	"mccs/internal/sim"
 	"mccs/internal/spec"
 	"mccs/internal/topo"
+	"mccs/internal/trace"
 	"mccs/internal/transport"
 )
 
@@ -406,6 +407,8 @@ func TestUpdateRoutesImmediate(t *testing.T) {
 
 func TestTraceRecordsCollectives(t *testing.T) {
 	r := newRig(t)
+	rec := trace.NewRecorder(trace.LevelOps, trace.OpsCapacity)
+	trace.Attach(r.s, rec)
 	gpus := r.fourHostGPUs()
 	comm := r.commOn(t, gpus, [][]int{{0, 1, 2, 3}})
 	const count = 128
@@ -418,16 +421,16 @@ func TestTraceRecordsCollectives(t *testing.T) {
 		for i := 0; i < 3; i++ {
 			runAllReduce(p, comm, bufs, count)
 		}
-		tr := comm.Runners[0].Trace()
+		tr := rec.OpSpans(int32(comm.Info.ID), 0)
 		if len(tr) != 3 {
 			t.Fatalf("trace has %d entries, want 3", len(tr))
 		}
-		for i, e := range tr {
-			if e.Result.Seq != uint64(i+1) {
-				t.Errorf("trace %d seq = %d", i, e.Result.Seq)
+		for i, sp := range tr {
+			if sp.Seq != uint64(i+1) {
+				t.Errorf("trace %d seq = %d", i, sp.Seq)
 			}
-			if e.Result.Bytes != count*4 {
-				t.Errorf("trace %d bytes = %d", i, e.Result.Bytes)
+			if sp.Bytes != count*4 {
+				t.Errorf("trace %d bytes = %d", i, sp.Bytes)
 			}
 		}
 	})

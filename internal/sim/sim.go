@@ -154,6 +154,14 @@ type Scheduler struct {
 	picker   Picker
 	observer func(at Time, seq uint64)
 
+	// traceSink is an opaque attachment point for the flight recorder
+	// (internal/trace). The scheduler is the one object every layer
+	// already holds, so parking the recorder here lets instrumentation
+	// reach it without threading a new parameter through every
+	// constructor — and without this package importing the trace
+	// package.
+	traceSink any
+
 	live    int // processes not yet Done
 	parked  map[int]*Proc
 	current *Proc
@@ -183,6 +191,14 @@ func (s *Scheduler) SetPicker(pk Picker) { s.picker = pk }
 // (at, seq) pairs is a complete fingerprint of the simulation schedule:
 // two runs are the same interleaving iff their observer streams match.
 func (s *Scheduler) SetObserver(fn func(at Time, seq uint64)) { s.observer = fn }
+
+// SetTraceSink attaches an opaque value (in practice a *trace.Recorder)
+// that instrumented layers retrieve via TraceSink. The scheduler itself
+// never touches it.
+func (s *Scheduler) SetTraceSink(v any) { s.traceSink = v }
+
+// TraceSink returns the value installed by SetTraceSink, or nil.
+func (s *Scheduler) TraceSink() any { return s.traceSink }
 
 // Go creates a process named name executing fn and schedules it to start at
 // the current virtual time.

@@ -1,0 +1,412 @@
+// Package trace is the cross-layer flight recorder.
+//
+// Every layer of the stack — the mccsd frontend (command round-trips),
+// the proxy (collective lifecycle, per-step transfers, reconfiguration
+// barrier phases), the transport and fabric (per-flow transmits with
+// route and max-min rate history), and the GPU simulator (kernels) —
+// emits structured spans into one Recorder attached to the simulation
+// scheduler. A post-processor (attrib.go, cmd/mccs-trace) can then
+// answer "which fabric link gated this collective, and how much of that
+// was competing-tenant traffic?" for any op in the run.
+//
+// Design constraints:
+//
+//   - Near-zero overhead when disabled: Emit on a nil or off Recorder is
+//     a branch and a return; spans are value structs so the hot path
+//     allocates nothing. Expensive span payloads (routes, rate samples)
+//     are built only behind Enabled checks.
+//   - Bounded memory: spans land in a fixed-capacity ring; the oldest
+//     spans are overwritten and counted as dropped.
+//   - Deterministic: recording and export introduce no map-order or
+//     wall-clock dependence, so the same seed produces a byte-identical
+//     trace file — traces double as chaos-replay artifacts.
+package trace
+
+import (
+	"hash/fnv"
+	"math"
+
+	"mccs/internal/sim"
+)
+
+// Level selects how much the recorder keeps.
+type Level int32
+
+const (
+	// LevelOff records nothing.
+	LevelOff Level = iota
+	// LevelOps records only collective-lifecycle spans (KindOp): the
+	// data the management API (Deployment.CommTrace) and the traffic
+	// scheduling policy need. This is the always-on default.
+	LevelOps
+	// LevelFull records every span kind.
+	LevelFull
+)
+
+// Kind classifies a span.
+type Kind uint8
+
+const (
+	// KindOp is one collective executed by one proxy runner, from issue
+	// reaching the proxy to rank-local completion.
+	KindOp Kind = iota
+	// KindStep is one ring/tree step of a collective on one channel.
+	KindStep
+	// KindBarrier is one phase of the Fig. 4 reconfiguration barrier;
+	// Span.Op holds the Phase* code.
+	KindBarrier
+	// KindP2P is a point-to-point send or receive.
+	KindP2P
+	// KindCmd is a shim command-queue round-trip: tenant issues the
+	// collective, the service reports completion.
+	KindCmd
+	// KindFlow is one fabric transfer, with the route taken and the
+	// max-min rate over time.
+	KindFlow
+	// KindXfer is an intra-host (NVLink-class) transfer that never
+	// touched the fabric.
+	KindXfer
+	// KindKernel is a simulated GPU kernel on one stream.
+	KindKernel
+)
+
+var kindNames = [...]string{"op", "step", "barrier", "p2p", "cmd", "flow", "xfer", "kernel"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "?"
+}
+
+// Reconfiguration barrier phase codes (Span.Op for KindBarrier), in
+// protocol order.
+const (
+	PhaseSeqExchange int32 = iota // agree on the barrier sequence number
+	PhaseDrain                    // run queued ops up to the barrier seq
+	PhaseCompletion               // wait for all ranks to go idle
+	PhaseTeardown                 // close old-generation connections
+	PhaseRebuild                  // set up new-generation connections
+)
+
+var phaseNames = [...]string{"seq-exchange", "drain", "completion-barrier", "teardown", "rebuild"}
+
+// PhaseName returns the printable name of a barrier phase code.
+func PhaseName(code int32) string {
+	if code >= 0 && int(code) < len(phaseNames) {
+		return phaseNames[code]
+	}
+	return "?"
+}
+
+// FlowTag identifies which collective step a fabric flow carries. The
+// proxy attaches it at Send time; the fabric copies it onto the flow
+// span, which is what lets attribution join network behaviour back to
+// collectives. The zero tag means "untagged" (Comm 0 is never a real
+// communicator).
+type FlowTag struct {
+	Comm     int32
+	From, To int32
+	Channel  int32
+	Gen      int32
+	Step     int32
+	Op       int32
+	Seq      uint64
+}
+
+// RateSample is one point of a flow's allocated-rate history, captured
+// when the fabric recomputes max-min rates and this flow's share
+// changed. Bottleneck is the link that froze the flow in that
+// water-fill (-1 when the flow was capped or unconstrained), and
+// LinkBps/ExtBps/CapBps describe that link's total allocated, external
+// (unmanaged) and capacity rates at the same instant.
+type RateSample struct {
+	T          sim.Time
+	Bps        float64
+	Bottleneck int32
+	LinkBps    float64
+	ExtBps     float64
+	CapBps     float64
+}
+
+// Span is one recorded interval. It is a value type: emitters build it
+// on the stack and the recorder copies it into the ring. Identity
+// fields use -1 for "not applicable" except Comm, where 0 is the
+// unassigned value (real communicator IDs start at 1).
+type Span struct {
+	Kind  Kind
+	Op    int32 // collective.Op, barrier Phase*, or -1
+	Start sim.Time
+	End   sim.Time
+
+	Host    int32 // -1 when resolvable from GPU/Src via Meta
+	GPU     int32
+	Comm    int32
+	Rank    int32
+	Peer    int32
+	Channel int32
+	Gen     int32
+	Step    int32
+	Seq     uint64
+
+	Flow  int64 // fabric flow ID (KindFlow), GPU stream ID (KindKernel)
+	Bytes int64
+
+	// Src/Dst are fabric node IDs (KindFlow) or NIC IDs (KindXfer).
+	Src, Dst int32
+
+	// Label must reference an already-live string (op names, app IDs,
+	// "external") so emitting it never allocates.
+	Label string
+
+	Route []int32
+	Rates []RateSample
+}
+
+// Dur returns the span's duration.
+func (sp *Span) Dur() sim.Duration { return sp.End.Sub(sp.Start) }
+
+// LinkMeta names one fabric link for attribution output.
+type LinkMeta struct {
+	Name   string
+	CapBps float64
+}
+
+// Meta is the side-band topology registered by the deployment so the
+// exporter and attributor can resolve IDs to names without importing
+// the topology packages.
+type Meta struct {
+	Hosts     []string
+	GPUHost   []int32 // GPU ID -> host index, -1 unknown
+	NodeHost  []int32 // fabric node -> host index, -1 for switches
+	NodeNames []string
+	Links     []LinkMeta
+	CommApp   map[int32]string // communicator -> owning app
+}
+
+// DefaultCapacity is the ring size used when callers do not choose one:
+// large enough to hold a full Fig. 7 reconfiguration showcase at
+// LevelFull.
+const DefaultCapacity = 1 << 18
+
+// OpsCapacity is the smaller default for the always-on LevelOps
+// recorder, which only holds collective-lifecycle spans.
+const OpsCapacity = 1 << 14
+
+// Recorder is a fixed-capacity ring of spans. All methods are safe on a
+// nil receiver (no-ops / zero values), which is what makes "disabled"
+// free at the emit sites.
+type Recorder struct {
+	level Level
+	buf   []Span
+	head  int    // index of the oldest span once the ring has wrapped
+	total uint64 // spans ever emitted (kept + dropped)
+	meta  Meta
+}
+
+// NewRecorder returns a recorder keeping at most capacity spans at the
+// given level. capacity <= 0 selects DefaultCapacity.
+func NewRecorder(level Level, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{level: level, buf: make([]Span, 0, capacity)}
+}
+
+// Attach installs r as the scheduler's flight recorder.
+func Attach(s *sim.Scheduler, r *Recorder) { s.SetTraceSink(r) }
+
+// Of returns the recorder attached to s, or nil. The nil result is
+// usable directly: every Recorder method tolerates a nil receiver.
+func Of(s *sim.Scheduler) *Recorder {
+	r, _ := s.TraceSink().(*Recorder)
+	return r
+}
+
+// Level returns the recording level (LevelOff for a nil recorder).
+func (r *Recorder) Level() Level {
+	if r == nil {
+		return LevelOff
+	}
+	return r.level
+}
+
+// Enabled reports whether a span of kind k would be kept. Hot paths use
+// it to skip building expensive span payloads.
+func (r *Recorder) Enabled(k Kind) bool {
+	if r == nil {
+		return false
+	}
+	switch r.level {
+	case LevelFull:
+		return true
+	case LevelOps:
+		return k == KindOp
+	default:
+		return false
+	}
+}
+
+// Emit records sp if the level admits its kind. The caller's Span is
+// copied; zero allocations occur on any path, including the enabled one
+// (the ring is preallocated).
+func (r *Recorder) Emit(sp Span) {
+	if r == nil || r.level == LevelOff {
+		return
+	}
+	if r.level == LevelOps && sp.Kind != KindOp {
+		return
+	}
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, sp)
+		return
+	}
+	r.buf[r.head] = sp
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
+}
+
+// Len returns the number of spans currently held.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Dropped returns how many spans were overwritten by ring wrap-around.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
+}
+
+// each visits the held spans oldest-first.
+func (r *Recorder) each(fn func(*Span)) {
+	if r == nil {
+		return
+	}
+	for i := r.head; i < len(r.buf); i++ {
+		fn(&r.buf[i])
+	}
+	for i := 0; i < r.head; i++ {
+		fn(&r.buf[i])
+	}
+}
+
+// SetTopology registers host names and the GPU/node -> host maps used
+// to place spans on per-host process rows.
+func (r *Recorder) SetTopology(hosts []string, gpuHost, nodeHost []int32, nodeNames []string) {
+	if r == nil {
+		return
+	}
+	r.meta.Hosts = hosts
+	r.meta.GPUHost = gpuHost
+	r.meta.NodeHost = nodeHost
+	r.meta.NodeNames = nodeNames
+}
+
+// SetLinks registers the fabric link names and capacities.
+func (r *Recorder) SetLinks(links []LinkMeta) {
+	if r == nil {
+		return
+	}
+	r.meta.Links = links
+}
+
+// NoteComm records which application owns a communicator.
+func (r *Recorder) NoteComm(comm int32, app string) {
+	if r == nil {
+		return
+	}
+	if r.meta.CommApp == nil {
+		r.meta.CommApp = make(map[int32]string)
+	}
+	r.meta.CommApp[comm] = app
+}
+
+// OpSpans returns the held collective-lifecycle spans for one
+// (communicator, rank), oldest-first — the thin view behind the
+// Deployment.CommTrace management API.
+func (r *Recorder) OpSpans(comm, rank int32) []Span {
+	var out []Span
+	r.each(func(sp *Span) {
+		if sp.Kind == KindOp && sp.Comm == comm && sp.Rank == rank {
+			out = append(out, *sp)
+		}
+	})
+	return out
+}
+
+// Snapshot copies the current ring contents and metadata into an
+// immutable Recording for export or analysis.
+func (r *Recorder) Snapshot() Recording {
+	rec := Recording{Dropped: r.Dropped()}
+	if r == nil {
+		return rec
+	}
+	rec.Spans = make([]Span, 0, len(r.buf))
+	r.each(func(sp *Span) { rec.Spans = append(rec.Spans, *sp) })
+	rec.Meta = r.meta
+	return rec
+}
+
+// Recording is an immutable snapshot of a recorder: the spans in
+// emission order plus the topology metadata.
+type Recording struct {
+	Spans   []Span
+	Meta    Meta
+	Dropped uint64
+}
+
+// Fingerprint returns an FNV-1a hash over every span's fields, in
+// order. Two runs with the same seed must produce equal fingerprints;
+// the determinism test relies on this.
+func (rec Recording) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	wf := func(v float64) { w64(math.Float64bits(v)) }
+	for i := range rec.Spans {
+		sp := &rec.Spans[i]
+		w64(uint64(sp.Kind))
+		w64(uint64(uint32(sp.Op)))
+		w64(uint64(sp.Start))
+		w64(uint64(sp.End))
+		w64(uint64(uint32(sp.Host)))
+		w64(uint64(uint32(sp.GPU)))
+		w64(uint64(uint32(sp.Comm)))
+		w64(uint64(uint32(sp.Rank)))
+		w64(uint64(uint32(sp.Peer)))
+		w64(uint64(uint32(sp.Channel)))
+		w64(uint64(uint32(sp.Gen)))
+		w64(uint64(uint32(sp.Step)))
+		w64(sp.Seq)
+		w64(uint64(sp.Flow))
+		w64(uint64(sp.Bytes))
+		w64(uint64(uint32(sp.Src)))
+		w64(uint64(uint32(sp.Dst)))
+		h.Write([]byte(sp.Label))
+		for _, l := range sp.Route {
+			w64(uint64(uint32(l)))
+		}
+		for _, s := range sp.Rates {
+			w64(uint64(s.T))
+			wf(s.Bps)
+			w64(uint64(uint32(s.Bottleneck)))
+			wf(s.LinkBps)
+			wf(s.ExtBps)
+			wf(s.CapBps)
+		}
+	}
+	return h.Sum64()
+}

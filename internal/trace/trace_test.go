@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mccs/internal/sim"
+)
+
+func opSpan(seq uint64) Span {
+	at := sim.Time(time.Duration(seq) * time.Millisecond)
+	return Span{
+		Kind: KindOp, Op: 0,
+		Start: at, End: at.Add(100 * time.Microsecond),
+		Host: 0, GPU: int32(seq % 4), Comm: 1, Rank: int32(seq % 4),
+		Peer: -1, Channel: -1, Step: -1, Gen: 0, Seq: seq,
+		Bytes: 4096, Flow: -1, Src: -1, Dst: -1,
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRecorder(LevelFull, 4)
+	for seq := uint64(1); seq <= 10; seq++ {
+		r.Emit(opSpan(seq))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", r.Dropped())
+	}
+	rec := r.Snapshot()
+	for i, sp := range rec.Spans {
+		if want := uint64(7 + i); sp.Seq != want {
+			t.Errorf("span %d seq = %d, want %d (oldest-first order)", i, sp.Seq, want)
+		}
+	}
+	if rec.Dropped != 6 {
+		t.Errorf("Recording.Dropped = %d, want 6", rec.Dropped)
+	}
+}
+
+func TestLevelsFilterKinds(t *testing.T) {
+	ops := NewRecorder(LevelOps, 16)
+	ops.Emit(opSpan(1))
+	ops.Emit(Span{Kind: KindFlow, Flow: 1})
+	ops.Emit(Span{Kind: KindStep, Comm: 1})
+	if ops.Len() != 1 {
+		t.Errorf("LevelOps kept %d spans, want 1 (only KindOp)", ops.Len())
+	}
+	if ops.Enabled(KindOp) != true || ops.Enabled(KindFlow) != false {
+		t.Error("LevelOps Enabled() wrong")
+	}
+
+	off := NewRecorder(LevelOff, 16)
+	off.Emit(opSpan(1))
+	if off.Len() != 0 {
+		t.Error("LevelOff recorded a span")
+	}
+
+	var nilRec *Recorder
+	nilRec.Emit(opSpan(1)) // must not panic
+	if nilRec.Enabled(KindOp) || nilRec.Len() != 0 || nilRec.Level() != LevelOff {
+		t.Error("nil recorder not inert")
+	}
+}
+
+func TestOpSpansFiltersCommAndRank(t *testing.T) {
+	r := NewRecorder(LevelFull, 64)
+	for seq := uint64(1); seq <= 8; seq++ {
+		r.Emit(opSpan(seq)) // ranks cycle 1,2,3,0,...
+	}
+	other := opSpan(9)
+	other.Comm = 2
+	other.Rank = 1
+	r.Emit(other)
+	r.Emit(Span{Kind: KindStep, Comm: 1, Rank: 1, Seq: 99})
+
+	got := r.OpSpans(1, 1)
+	if len(got) != 2 {
+		t.Fatalf("OpSpans(1,1) = %d spans, want 2", len(got))
+	}
+	for _, sp := range got {
+		if sp.Comm != 1 || sp.Rank != 1 || sp.Kind != KindOp {
+			t.Errorf("OpSpans returned %+v", sp)
+		}
+	}
+}
+
+func testRecording() Recording {
+	r := NewRecorder(LevelFull, 64)
+	r.SetTopology(
+		[]string{"host0", "host1"},
+		[]int32{0, 0, 1, 1},
+		[]int32{0, 1, -1},
+		[]string{"h0-nic0", "h1-nic0", "sw0"},
+	)
+	r.SetLinks([]LinkMeta{{Name: "h0-nic0->sw0", CapBps: 6.25e9}, {Name: "sw0->h1-nic0", CapBps: 12.5e9}})
+	r.NoteComm(1, "bench")
+
+	r.Emit(opSpan(1))
+	r.Emit(Span{
+		Kind: KindFlow, Op: 0,
+		Start: 0, End: sim.Time(time.Millisecond),
+		Host: -1, GPU: -1, Comm: 1, Rank: 0, Peer: 1,
+		Channel: 0, Gen: 0, Step: 2, Seq: 1,
+		Flow: 7, Bytes: 1 << 20, Src: 0, Dst: 1,
+		Route: []int32{0, 1},
+		Rates: []RateSample{
+			{T: 0, Bps: 6e9, Bottleneck: 0, LinkBps: 6e9, ExtBps: 0, CapBps: 6.25e9},
+			{T: sim.Time(500 * time.Microsecond), Bps: 3e9, Bottleneck: 1, LinkBps: 12e9, ExtBps: 9e9, CapBps: 12.5e9},
+		},
+	})
+	r.Emit(Span{
+		Kind: KindBarrier, Op: PhaseDrain,
+		Start: sim.Time(2 * time.Millisecond), End: sim.Time(3 * time.Millisecond),
+		Host: 0, GPU: 0, Comm: 1, Rank: 0, Peer: -1, Channel: -1, Step: -1,
+		Gen: 0, Seq: 1, Flow: -1, Src: -1, Dst: -1,
+	})
+	r.Emit(Span{
+		Kind: KindKernel, Op: -1,
+		Start: 0, End: sim.Time(time.Microsecond),
+		Host: -1, GPU: 2, Comm: 0, Rank: -1, Peer: -1, Channel: -1,
+		Step: -1, Gen: -1, Flow: 3, Src: -1, Dst: -1, Label: "allreduce",
+	})
+	return r.Snapshot()
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	rec := testRecording()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// The output must be a plain JSON array of events (what Perfetto and
+	// chrome://tracing load).
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var complete int
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			complete++
+		}
+	}
+	if complete != len(rec.Spans) {
+		t.Errorf("export has %d complete events, want %d", complete, len(rec.Spans))
+	}
+
+	back, err := ReadChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != len(rec.Spans) {
+		t.Fatalf("round trip: %d spans, want %d", len(back.Spans), len(rec.Spans))
+	}
+	if got, want := back.Fingerprint(), rec.Fingerprint(); got != want {
+		t.Errorf("round-trip fingerprint %#x != original %#x", got, want)
+	}
+	if back.Meta.Hosts[1] != "host1" || back.Meta.Links[1].Name != "sw0->h1-nic0" {
+		t.Errorf("meta lost in round trip: %+v", back.Meta)
+	}
+	if back.Meta.CommApp[1] != "bench" {
+		t.Errorf("comm app map lost: %+v", back.Meta.CommApp)
+	}
+	if len(back.Spans[1].Rates) != 2 || back.Spans[1].Rates[1].Bottleneck != 1 {
+		t.Errorf("rate samples lost: %+v", back.Spans[1].Rates)
+	}
+}
+
+func TestExportDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, testRecording()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, testRecording()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two exports of the same recording differ byte-for-byte")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a := testRecording()
+	b := testRecording()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical recordings have different fingerprints")
+	}
+	b.Spans[0].End += 1
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("fingerprint did not change with a span field")
+	}
+}
+
+func TestAttributeFindsGatingLink(t *testing.T) {
+	rec := testRecording()
+	reports := Attribute(rec)
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	r := reports[0]
+	if r.Comm != 1 || r.Seq != 1 || r.App != "bench" {
+		t.Errorf("report identity wrong: %+v", r)
+	}
+	if r.GatingFlow != 7 || r.GatingFrom != 0 || r.GatingTo != 1 {
+		t.Errorf("gating flow wrong: %+v", r)
+	}
+	// The flow spent 500us frozen by link 0 and 500us by link 1: the tie
+	// breaks to the lower link ID.
+	if r.GatingLink != 0 || r.LinkName != "h0-nic0->sw0" {
+		t.Errorf("gating link = %d (%s), want 0 (h0-nic0->sw0)", r.GatingLink, r.LinkName)
+	}
+
+	links := ByLink(reports)
+	if len(links) != 1 || links[0].OpsGated != 1 {
+		t.Errorf("ByLink rollup wrong: %+v", links)
+	}
+
+	var sum bytes.Buffer
+	if err := Summarize(&sum, rec); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"collectives (1):", "h0-nic0->sw0", "drain"} {
+		if !bytes.Contains(sum.Bytes(), []byte(want)) {
+			t.Errorf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+}
+
+// TestEmitDoesNotAllocate is the overhead guarantee: recording must be
+// free when disabled and allocation-free even when enabled (the ring is
+// preallocated, spans are value copies).
+func TestEmitDoesNotAllocate(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  *Recorder
+		kind Kind
+	}{
+		{"nil", nil, KindOp},
+		{"off", NewRecorder(LevelOff, 16), KindOp},
+		{"ops-filtered", NewRecorder(LevelOps, 16), KindFlow},
+		{"ops-kept", NewRecorder(LevelOps, 1 << 16), KindOp},
+		{"full-kept", NewRecorder(LevelFull, 1 << 16), KindStep},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sp := opSpan(1)
+			sp.Kind = tc.kind
+			if n := testing.AllocsPerRun(1000, func() {
+				tc.rec.Emit(sp)
+			}); n != 0 {
+				t.Errorf("Emit allocates %.1f times per call, want 0", n)
+			}
+		})
+	}
+}

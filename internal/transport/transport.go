@@ -18,6 +18,7 @@ import (
 	"mccs/internal/sim"
 	"mccs/internal/spec"
 	"mccs/internal/topo"
+	"mccs/internal/trace"
 )
 
 // Config sets the transport cost model.
@@ -154,6 +155,7 @@ type pendingSend struct {
 	data  []float32
 	seq   uint64
 	group *netsim.Group
+	tag   trace.FlowTag
 }
 
 // Connect creates a connection from srcNIC (on this engine's host) to
@@ -244,6 +246,14 @@ func (c *Conn) Close() { c.closed = true }
 // group optionally couples the underlying fabric flow with the other flows
 // of the same ring step (lock-step pacing).
 func (c *Conn) Send(bytes int64, data []float32, group *netsim.Group) {
+	c.SendTagged(bytes, data, group, trace.FlowTag{})
+}
+
+// SendTagged is Send with a flight-recorder tag identifying the
+// collective step the message carries; the tag rides the fabric flow
+// into the trace so bottleneck attribution can join network behaviour
+// back to collectives. The zero tag marks untagged traffic.
+func (c *Conn) SendTagged(bytes int64, data []float32, group *netsim.Group, tag trace.FlowTag) {
 	if c.closed {
 		panic("transport: send on closed connection")
 	}
@@ -253,7 +263,7 @@ func (c *Conn) Send(bytes int64, data []float32, group *netsim.Group) {
 	c.sendSeq++
 	c.eng.messagesSent++
 	c.eng.bytesSent += bytes
-	c.sendQ = append(c.sendQ, pendingSend{bytes: bytes, data: data, seq: c.sendSeq, group: group})
+	c.sendQ = append(c.sendQ, pendingSend{bytes: bytes, data: data, seq: c.sendSeq, group: group, tag: tag})
 	if c.eng.cfg.UnserializedSends {
 		// Ablation mode: transmit everything concurrently.
 		for len(c.sendQ) > 0 {
@@ -289,8 +299,21 @@ func (c *Conn) startNext() {
 		if c.intr {
 			// Intra-host channel: fixed bandwidth, no fabric contention
 			// (host shared-memory / NVLink is private to the host).
+			txStart := e.s.Now()
 			dur := time.Duration(float64(msg.bytes) / e.cfg.IntraBps * float64(time.Second))
 			e.s.After(dur, func() {
+				if rec := trace.Of(e.s); rec.Enabled(trace.KindXfer) {
+					rec.Emit(trace.Span{
+						Kind: trace.KindXfer, Op: msg.tag.Op,
+						Start: txStart, End: e.s.Now(),
+						Host: int32(e.host), GPU: -1,
+						Comm: msg.tag.Comm, Rank: msg.tag.From, Peer: msg.tag.To,
+						Channel: msg.tag.Channel, Gen: msg.tag.Gen, Step: msg.tag.Step,
+						Seq:   msg.tag.Seq,
+						Bytes: msg.bytes,
+						Src:   int32(c.src), Dst: int32(c.dst),
+					})
+				}
 				e.s.After(e.cfg.IntraLatency, func() {
 					c.inbox.Push(e.s, Delivery{Bytes: msg.bytes, Data: msg.data, Seq: msg.seq})
 				})
@@ -309,6 +332,7 @@ func (c *Conn) startNext() {
 			// collisions persistent — and what MCCS route pinning fixes.
 			Label: c.label,
 			Group: msg.group,
+			Tag:   msg.tag,
 		})
 		fl.OnDone(finish)
 	}
