@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check chaos bench trace
+.PHONY: all build test vet race check chaos bench bench-json trace
 
 all: check
 
@@ -27,6 +27,12 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .
+
+# bench-json runs the root per-figure benchmark suite once and writes
+# the reported metrics as machine-readable BENCH.json records of
+# {bench, metric, value}. CI uploads the file as a build artifact.
+bench-json:
+	$(GO) test -run '^$$' -bench . -benchtime=1x . | $(GO) run ./cmd/mccs-benchjson > BENCH.json
 
 # trace records a short Fig. 7 reconfiguration run with the flight
 # recorder and prints the bottleneck-attribution summary. The JSON also

@@ -1,0 +1,74 @@
+// mccs-benchjson converts `go test -bench` output on stdin into a JSON
+// array of {bench, metric, value} records on stdout, one record per
+// reported metric (ns/op, B/op, allocs/op, and every custom
+// b.ReportMetric unit such as mean-comm-% or GB/s). CI runs the root
+// benchmark suite through it to publish BENCH.json as a build artifact,
+// so regressions are diffable across runs without scraping logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime=1x . | mccs-benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark metric sample.
+type Record struct {
+	Bench  string  `json:"bench"`
+	Metric string  `json:"metric"`
+	Value  float64 `json:"value"`
+}
+
+// benchLine matches one result line: the benchmark name (with its
+// optional -GOMAXPROCS suffix), the iteration count, and the tail of
+// whitespace-separated value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(line string) []Record {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return nil
+	}
+	name, tail := m[1], strings.Fields(m[3])
+	var recs []Record
+	// The tail alternates value unit value unit ...
+	for i := 0; i+1 < len(tail); i += 2 {
+		v, err := strconv.ParseFloat(tail[i], 64)
+		if err != nil {
+			return nil // not a results line after all (e.g. a log line)
+		}
+		recs = append(recs, Record{Bench: name, Metric: tail[i+1], Value: v})
+	}
+	return recs
+}
+
+func main() {
+	recs := []Record{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		recs = append(recs, parse(sc.Text())...)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "mccs-benchjson:", err)
+		os.Exit(1)
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(os.Stderr, "mccs-benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintln(os.Stderr, "mccs-benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseResultLine(t *testing.T) {
+	recs := parse("BenchmarkFig7Reconfig-8   \t 1\t  52731042 ns/op\t         7.105 pre-GB/s\t         2.174 during-GB/s")
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3: %v", len(recs), recs)
+	}
+	for _, r := range recs {
+		if r.Bench != "BenchmarkFig7Reconfig" {
+			t.Errorf("bench = %q, want BenchmarkFig7Reconfig", r.Bench)
+		}
+	}
+	if recs[0].Metric != "ns/op" || recs[0].Value != 52731042 {
+		t.Errorf("first record = %+v, want ns/op 52731042", recs[0])
+	}
+	if recs[2].Metric != "during-GB/s" || recs[2].Value != 2.174 {
+		t.Errorf("third record = %+v, want during-GB/s 2.174", recs[2])
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: mccs",
+		"PASS",
+		"ok  \tmccs\t1.234s",
+		"BenchmarkFig2Breakdown-8", // header without results is not a sample
+		"",
+	} {
+		if recs := parse(line); recs != nil {
+			t.Errorf("parse(%q) = %v, want nil", line, recs)
+		}
+	}
+}
+
+func TestParseNoGomaxprocsSuffix(t *testing.T) {
+	recs := parse("BenchmarkSteps 100 1042 ns/op")
+	if len(recs) != 1 || recs[0].Bench != "BenchmarkSteps" || recs[0].Value != 1042 {
+		t.Fatalf("got %v, want one BenchmarkSteps ns/op=1042 record", recs)
+	}
+}

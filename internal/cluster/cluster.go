@@ -423,6 +423,9 @@ func (m *sim11) runJob(p *sim.Proc, j *job) {
 			p.Sleep(m.cfg.ComputeTime)
 		}
 		start := p.Now()
+		// All rings' flows start at one virtual instant; the fabric
+		// coalesces the whole batch into a single max-min recompute at
+		// the end of the instant (see DESIGN.md §10).
 		var flows []*netsim.Flow
 		for ri, order := range j.rings {
 			var group *netsim.Group

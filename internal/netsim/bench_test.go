@@ -55,6 +55,7 @@ func BenchmarkWaterfill(b *testing.B) {
 			if err := s.RunUntil(0); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				fb.recompute()
@@ -70,6 +71,7 @@ func BenchmarkFlowChurn(b *testing.B) {
 	s := sim.New()
 	net, nics := benchClos(4)
 	fb := NewFabric(s, net)
+	b.ReportAllocs()
 	b.ResetTimer()
 	done := 0
 	s.GoDaemon("churn", func(p *sim.Proc) {

@@ -1,0 +1,55 @@
+package netsim
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+)
+
+// fnvECMPIndex is the retired hash/fnv-based implementation, kept here
+// as the reference the inlined hot-path hash must match bit-for-bit:
+// ECMP indices pick routes, so any drift would silently change every
+// unpinned flow's path.
+func fnvECMPIndex(src, dst NodeID, label uint64, nPaths int) int {
+	if nPaths <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [24]byte
+	put64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[off+i] = byte(v >> (8 * i))
+		}
+	}
+	put64(0, uint64(src))
+	put64(8, uint64(dst))
+	put64(16, label)
+	h.Write(buf[:])
+	return int(h.Sum64() % uint64(nPaths))
+}
+
+func TestECMPIndexMatchesFNV(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		src := NodeID(rng.Intn(4096))
+		dst := NodeID(rng.Intn(4096))
+		label := rng.Uint64()
+		nPaths := 1 + rng.Intn(64)
+		if got, want := ECMPIndex(src, dst, label, nPaths), fnvECMPIndex(src, dst, label, nPaths); got != want {
+			t.Fatalf("ECMPIndex(%d,%d,%#x,%d) = %d, reference fnv = %d", src, dst, label, nPaths, got, want)
+		}
+	}
+}
+
+// TestECMPIndexZeroAlloc mirrors the trace package's zero-alloc guard:
+// the hash runs on every unpinned flow start and must not allocate.
+func TestECMPIndexZeroAlloc(t *testing.T) {
+	var sink int
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += ECMPIndex(3, 17, 0xdeadbeef, 8)
+	})
+	if allocs != 0 {
+		t.Errorf("ECMPIndex allocates %v per call, want 0", allocs)
+	}
+	_ = sink
+}

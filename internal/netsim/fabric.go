@@ -17,8 +17,15 @@ const byteEps = 0.5
 // slowest member. This models a pipelined ring-collective step: the ring
 // moves at the pace of its bottleneck edge.
 type Group struct {
-	id    int
-	flows map[*Flow]struct{}
+	id int
+	// members is kept in ascending flow-ID order. Flow IDs are monotonic,
+	// so StartFlow appends; CancelFlow/completion splice. The allocator's
+	// successive-bottleneck loop scans this slice directly instead of
+	// rebuilding and sorting a member list on every iteration.
+	members []*Flow
+	// frozen is allocator scratch: set while the group's rate has been
+	// fixed during the current allocate pass. Valid only inside allocate.
+	frozen bool
 }
 
 // Flow is one active transfer on the fabric.
@@ -31,6 +38,12 @@ type Flow struct {
 	// Tag identifies the collective step this flow carries, for the
 	// flight recorder (zero for untagged/external traffic).
 	Tag trace.FlowTag
+
+	fb *Fabric
+	// slot is the flow's index in Fabric.flows (dense, maintained
+	// incrementally). The allocator's scratch buffers are indexed by
+	// slot, so a recompute allocates nothing per flow.
+	slot int
 
 	bytes    float64 // total demand; +Inf for endless (background) flows
 	done     float64
@@ -64,12 +77,20 @@ func (f *Flow) OnDone(fn func()) {
 	f.onDone = append(f.onDone, fn)
 }
 
-// Rate returns the currently allocated rate in bytes per second.
-func (f *Flow) Rate() float64 { return f.rate }
+// Rate returns the currently allocated rate in bytes per second. Reading
+// it flushes any coalesced recompute, so the value always reflects every
+// mutation made so far this instant.
+func (f *Flow) Rate() float64 {
+	f.fb.flush()
+	return f.rate
+}
 
 // Transferred returns the bytes delivered so far (as of the last fabric
 // update; call Fabric.Sync for an up-to-the-instant figure).
-func (f *Flow) Transferred() float64 { return f.done }
+func (f *Flow) Transferred() float64 {
+	f.fb.flush()
+	return f.done
+}
 
 // Done returns the completion event; it fires when the full byte demand has
 // been delivered (never, for endless flows, unless canceled).
@@ -114,13 +135,32 @@ type FlowOpts struct {
 // Fabric is the dynamic state of the network: the set of active flows and
 // their max-min fair rates. All methods must be called from sim scheduler
 // context.
+//
+// Mutations (StartFlow, CancelFlow, SetLinkCapacity, completions) do not
+// recompute rates eagerly; they mark the fabric dirty and the whole batch
+// is allocated once — at the latest when the scheduler leaves the current
+// virtual instant (see sim.Scheduler.OnInstantEnd), and earlier if any
+// rate, link-rate or byte counter is read. A ring step that launches N
+// flows at one instant therefore costs a single max-min allocation, not N.
 type Fabric struct {
 	s   *sim.Scheduler
 	net *Network
 
-	flows      map[int]*Flow
+	// flows holds the active flows in ascending flow-ID order; a flow's
+	// slot field is its index here. IDs are monotonic, so StartFlow
+	// appends and removal splices — the order is maintained
+	// incrementally instead of being rebuilt and sorted per allocation.
+	flows []*Flow
+	// groups holds the coflow groups with at least one active member, in
+	// ascending group-ID order (the allocator's deterministic scan
+	// order).
+	groups     []*Group
+	nPriority  int // active strict-priority flows
 	nextFlowID int
 	nextGroup  int
+
+	// dirty marks a pending coalesced recompute; flush clears it.
+	dirty bool
 
 	lastUpdate sim.Time
 	timer      *sim.Timer
@@ -131,19 +171,44 @@ type Fabric struct {
 	linkRate     []float64
 	externalRate []float64
 
-	// Recomputes counts rate recomputations, for tests and perf sanity.
+	// Recomputes counts rate allocations, for tests and perf sanity.
+	// With coalescing this counts flushes, not mutations: a batch of K
+	// same-instant flow starts increments it exactly once.
 	Recomputes int
+
+	// Allocator scratch, owned by the fabric and reused across
+	// recomputes so the steady-state hot path allocates nothing.
+	// Per-slot buffers (indexed by Flow.slot):
+	frozenRate []float64 // rate a flow was frozen at this pass
+	frozenSet  []bool    // whether the flow is frozen
+	bott       []LinkID  // committed bottleneck link, for the recorder
+	fillRate   []float64 // current water-fill: resulting rate
+	fillBneck  []LinkID  // current water-fill: saturating link
+	fillLevel  []float64 // current water-fill: rising water level
+	fillDone   []bool    // current water-fill: flow stopped rising
+	// Flow/link scratch:
+	active    []*Flow   // water-fill participant list
+	remCap    []float64 // per-link remaining capacity
+	nActive   []int     // per-link count of unfrozen crossing flows
+	linkMark  []bool    // per-link membership in touched
+	touched   []LinkID  // links crossed by any active flow
+	completed []*Flow   // completion batch, reused by onTimer
 }
 
-// NewFabric creates a fabric over the given topology.
+// NewFabric creates a fabric over the given topology and registers its
+// end-of-instant flush with the scheduler.
 func NewFabric(s *sim.Scheduler, net *Network) *Fabric {
-	return &Fabric{
+	fb := &Fabric{
 		s:            s,
 		net:          net,
-		flows:        make(map[int]*Flow),
 		linkRate:     make([]float64, net.NumLinks()),
 		externalRate: make([]float64, net.NumLinks()),
+		remCap:       make([]float64, net.NumLinks()),
+		nActive:      make([]int, net.NumLinks()),
+		linkMark:     make([]bool, net.NumLinks()),
 	}
+	s.OnInstantEnd(fb.flush)
+	return fb
 }
 
 // Network returns the underlying static topology.
@@ -152,12 +217,16 @@ func (fb *Fabric) Network() *Network { return fb.net }
 // NewGroup returns a fresh coflow group.
 func (fb *Fabric) NewGroup() *Group {
 	fb.nextGroup++
-	return &Group{id: fb.nextGroup, flows: make(map[*Flow]struct{})}
+	return &Group{id: fb.nextGroup}
 }
 
 // StartFlow begins a transfer and returns its handle. The route is
 // validated; an invalid explicit route panics, as it indicates a programming
 // error in the routing layer.
+//
+// The new flow's rate is computed lazily: starting K flows at one virtual
+// instant costs one allocation, performed before the first rate read or
+// the end of the instant, whichever comes first.
 func (fb *Fabric) StartFlow(o FlowOpts) *Flow {
 	route := o.Route
 	if route == nil {
@@ -181,21 +250,29 @@ func (fb *Fabric) StartFlow(o FlowOpts) *Flow {
 	if o.FixedRate > 0 {
 		maxRate, priority = o.FixedRate, true
 	}
+	fb.progress()
 	fb.nextFlowID++
 	fl := &Flow{
 		ID: fb.nextFlowID, Src: o.Src, Dst: o.Dst, Route: route, Label: o.Label,
 		Tag:   o.Tag,
+		fb:    fb, slot: len(fb.flows),
 		bytes: bytes, maxRate: maxRate, priority: priority, external: o.External,
 		group:  o.Group,
 		doneEv: &sim.Event{},
 		start:  fb.s.Now(),
 	}
-	if fl.group != nil {
-		fl.group.flows[fl] = struct{}{}
+	fb.flows = append(fb.flows, fl)
+	if fl.priority {
+		fb.nPriority++
 	}
-	fb.progress()
-	fb.flows[fl.ID] = fl
-	fb.recompute()
+	if g := fl.group; g != nil {
+		if len(g.members) == 0 {
+			fb.insertGroup(g)
+		}
+		// IDs are monotonic: appending keeps members ID-ordered.
+		g.members = append(g.members, fl)
+	}
+	fb.dirty = true
 	return fl
 }
 
@@ -209,7 +286,7 @@ func (fb *Fabric) CancelFlow(fl *Flow) {
 	fl.canceled = true
 	fb.emitFlow(fl, trace.Of(fb.s))
 	fb.remove(fl)
-	fb.recompute()
+	fb.dirty = true
 }
 
 // emitFlow records the flow's transmit span: its route, the bytes it
@@ -253,49 +330,101 @@ func (fb *Fabric) FlushTrace() {
 	if !rec.Enabled(trace.KindFlow) {
 		return
 	}
+	fb.flush()
 	fb.progress()
-	ordered := make([]*Flow, 0, len(fb.flows))
 	for _, fl := range fb.flows {
-		ordered = append(ordered, fl)
-	}
-	sortFlows(ordered)
-	for _, fl := range ordered {
 		fb.emitFlow(fl, rec)
 	}
 }
 
-func (fb *Fabric) remove(fl *Flow) {
-	delete(fb.flows, fl.ID)
-	if fl.group != nil {
-		delete(fl.group.flows, fl)
+// insertGroup adds g to the active-group list, keeping it ID-ordered. A
+// group usually activates with the largest ID yet seen (append), but an
+// old group can be re-populated after draining, so insertion searches.
+func (fb *Fabric) insertGroup(g *Group) {
+	i := len(fb.groups)
+	for i > 0 && fb.groups[i-1].id > g.id {
+		i--
+	}
+	fb.groups = append(fb.groups, nil)
+	copy(fb.groups[i+1:], fb.groups[i:])
+	fb.groups[i] = g
+}
+
+// removeGroup drops a drained group from the active-group list.
+func (fb *Fabric) removeGroup(g *Group) {
+	for i, h := range fb.groups {
+		if h == g {
+			copy(fb.groups[i:], fb.groups[i+1:])
+			fb.groups[len(fb.groups)-1] = nil
+			fb.groups = fb.groups[:len(fb.groups)-1]
+			return
+		}
 	}
 }
 
-// Sync advances all flow byte counters to the current instant without
-// changing rates. Call before reading Transferred.
-func (fb *Fabric) Sync() { fb.progress() }
+// remove splices fl out of the ID-ordered flow list and its group.
+func (fb *Fabric) remove(fl *Flow) {
+	i := fl.slot
+	copy(fb.flows[i:], fb.flows[i+1:])
+	fb.flows[len(fb.flows)-1] = nil
+	fb.flows = fb.flows[:len(fb.flows)-1]
+	for j := i; j < len(fb.flows); j++ {
+		fb.flows[j].slot = j
+	}
+	if fl.priority {
+		fb.nPriority--
+	}
+	if g := fl.group; g != nil {
+		for j, m := range g.members {
+			if m == fl {
+				copy(g.members[j:], g.members[j+1:])
+				g.members[len(g.members)-1] = nil
+				g.members = g.members[:len(g.members)-1]
+				break
+			}
+		}
+		if len(g.members) == 0 {
+			fb.removeGroup(g)
+		}
+	}
+}
+
+// Sync flushes any pending recompute and advances all flow byte counters
+// to the current instant. Call before reading Transferred.
+func (fb *Fabric) Sync() {
+	fb.flush()
+	fb.progress()
+}
 
 // SetLinkCapacity changes a link's capacity at runtime (maintenance,
-// degradation, failure when set to ~0) and reallocates active flows.
+// degradation, failure when set to ~0). Reallocation is coalesced like
+// any other fabric mutation.
 func (fb *Fabric) SetLinkCapacity(l LinkID, capacity float64) {
 	if capacity < 0 {
 		capacity = 0
 	}
 	fb.progress()
 	fb.net.links[l].Capacity = capacity
-	fb.recompute()
+	fb.dirty = true
 }
 
 // LinkRate returns the aggregate allocated rate on link l in bytes/sec.
-func (fb *Fabric) LinkRate(l LinkID) float64 { return fb.linkRate[l] }
+func (fb *Fabric) LinkRate(l LinkID) float64 {
+	fb.flush()
+	return fb.linkRate[l]
+}
 
 // ExternalRate returns the rate on link l from flows marked External —
 // the signal a provider's switch agent reports for traffic outside the
 // collective service's management.
-func (fb *Fabric) ExternalRate(l LinkID) float64 { return fb.externalRate[l] }
+func (fb *Fabric) ExternalRate(l LinkID) float64 {
+	fb.flush()
+	return fb.externalRate[l]
+}
 
 // LinkUtilization returns allocated rate / capacity for link l.
 func (fb *Fabric) LinkUtilization(l LinkID) float64 {
+	fb.flush()
 	c := fb.net.Link(l).Capacity
 	if c <= 0 {
 		return 0
@@ -337,12 +466,51 @@ func (fb *Fabric) progress() {
 	}
 }
 
+// flush applies the pending mutation batch, if any: it recomputes max-min
+// rates once for everything that changed this instant and re-arms the
+// completion timer. Every user-visible read (Rate, Transferred, Sync,
+// LinkRate, ExternalRate, LinkUtilization, FlushTrace) forces a flush,
+// and the scheduler's end-of-instant hook forces one before virtual time
+// advances — so rates are always consistent at any observation point and
+// across instants, no matter how many mutations were batched.
+func (fb *Fabric) flush() {
+	if !fb.dirty {
+		return
+	}
+	fb.dirty = false
+	fb.progress()
+	fb.recompute()
+}
+
 // recompute reruns the max-min allocation and reschedules the next
 // completion timer. Callers must progress() first.
 func (fb *Fabric) recompute() {
 	fb.Recomputes++
 	fb.allocate()
 	fb.schedule()
+}
+
+// growScratch sizes the per-slot scratch buffers for n flows. Buffers are
+// grown geometrically and reused; a steady-state recompute allocates
+// nothing here.
+func (fb *Fabric) growScratch(n int) {
+	if cap(fb.frozenRate) < n {
+		c := n + n/2 + 8
+		fb.frozenRate = make([]float64, c)
+		fb.frozenSet = make([]bool, c)
+		fb.bott = make([]LinkID, c)
+		fb.fillRate = make([]float64, c)
+		fb.fillBneck = make([]LinkID, c)
+		fb.fillLevel = make([]float64, c)
+		fb.fillDone = make([]bool, c)
+	}
+	fb.frozenRate = fb.frozenRate[:n]
+	fb.frozenSet = fb.frozenSet[:n]
+	fb.bott = fb.bott[:n]
+	fb.fillRate = fb.fillRate[:n]
+	fb.fillBneck = fb.fillBneck[:n]
+	fb.fillLevel = fb.fillLevel[:n]
+	fb.fillDone = fb.fillDone[:n]
 }
 
 // allocate computes max-min fair rates with group coupling and rate caps.
@@ -353,84 +521,85 @@ func (fb *Fabric) recompute() {
 // groups remain, then takes the final fill for ungrouped flows. This is the
 // successive-bottleneck construction; it terminates after at most
 // #groups + 1 fills.
+//
+// All working state lives in fabric-owned, slot-indexed scratch buffers
+// (see growScratch); referenceAllocate is the retired map-based
+// implementation, kept as a differential-testing oracle.
 func (fb *Fabric) allocate() {
 	for i := range fb.linkRate {
 		fb.linkRate[i] = 0
 		fb.externalRate[i] = 0
 	}
-	if len(fb.flows) == 0 {
+	n := len(fb.flows)
+	if n == 0 {
 		return
 	}
-	// Committed in flow-ID order: link-rate sums are float accumulations,
-	// and iterating the flow map directly would make their low-order bits
-	// (and thus threshold comparisons downstream) depend on map order.
-	ordered := make([]*Flow, 0, len(fb.flows))
-	for _, fl := range fb.flows {
-		ordered = append(ordered, fl)
+	fb.growScratch(n)
+	for i := 0; i < n; i++ {
+		fb.frozenSet[i] = false
+		fb.frozenRate[i] = 0
+		fb.bott[i] = -1
 	}
-	sortFlows(ordered)
-	frozen := make(map[*Flow]float64)
-	groupFrozen := make(map[*Group]bool)
+	for _, g := range fb.groups {
+		g.frozen = false
+	}
 	// Strict-priority flows are allocated first (water-filled among
 	// themselves, each capped at its fixed rate) and then frozen, so fair
 	// sharing below only sees the residual capacity.
-	hasPriority := false
-	for _, fl := range fb.flows {
-		if fl.priority {
-			hasPriority = true
-			break
-		}
-	}
-	// bott remembers, for every flow, the link that froze it in the
-	// water-fill that fixed its rate — the flow's bottleneck, recorded
-	// into its rate history for the flight recorder's attribution.
-	bott := make(map[*Flow]LinkID)
-	if hasPriority {
-		prio, pb := fb.waterfill(frozen, func(fl *Flow) bool { return fl.priority })
-		for fl, r := range prio {
-			frozen[fl] = r
-			bott[fl] = bottleneckOf(pb, fl)
+	if fb.nPriority > 0 {
+		fb.waterfill(true)
+		for _, fl := range fb.flows {
+			if !fl.priority {
+				continue
+			}
+			s := fl.slot
+			fb.frozenRate[s] = fb.fillRate[s]
+			fb.frozenSet[s] = true
+			fb.bott[s] = fb.fillBneck[s]
 		}
 	}
 	for {
-		rates, rb := fb.waterfill(frozen, func(fl *Flow) bool { return true })
+		fb.waterfill(false)
 		// Find the unfrozen group with the smallest member-minimum rate.
+		// fb.groups is ID-ordered and the comparison is strict, so rate
+		// ties deterministically pick the smallest group ID; within a
+		// group, the ID-ordered member scan picks the smallest-ID member
+		// on ties.
 		var pick *Group
 		var pickSlowest *Flow
 		pickMin := math.Inf(1)
-		for _, fl := range fb.flows {
-			g := fl.group
-			if g == nil || groupFrozen[g] || len(g.flows) == 0 {
+		for _, g := range fb.groups {
+			if g.frozen {
 				continue
 			}
-			// Deterministic slowest-member choice on rate ties.
-			members := make([]*Flow, 0, len(g.flows))
-			for m := range g.flows {
-				members = append(members, m)
-			}
-			sortFlows(members)
 			gmin := math.Inf(1)
 			var slowest *Flow
-			for _, m := range members {
-				if r := rates[m]; r < gmin {
+			for _, m := range g.members {
+				r := 0.0
+				if !fb.frozenSet[m.slot] {
+					r = fb.fillRate[m.slot]
+				}
+				if r < gmin {
 					gmin = r
 					slowest = m
 				}
 			}
-			if gmin < pickMin || (gmin == pickMin && pick != nil && g.id < pick.id) {
+			if gmin < pickMin {
 				pickMin = gmin
 				pick = g
 				pickSlowest = slowest
 			}
 		}
 		if pick == nil {
-			// Done: commit rates.
-			for _, fl := range ordered {
-				if r, ok := frozen[fl]; ok {
-					fl.rate = r
+			// Done: commit rates in flow-ID order (link-rate sums are
+			// float accumulations; the order must be deterministic).
+			for _, fl := range fb.flows {
+				s := fl.slot
+				if fb.frozenSet[s] {
+					fl.rate = fb.frozenRate[s]
 				} else {
-					fl.rate = rates[fl]
-					bott[fl] = bottleneckOf(rb, fl)
+					fl.rate = fb.fillRate[s]
+					fb.bott[s] = fb.fillBneck[s]
 				}
 				for _, l := range fl.Route {
 					fb.linkRate[l] += fl.rate
@@ -439,29 +608,20 @@ func (fb *Fabric) allocate() {
 					}
 				}
 			}
-			fb.sampleRates(ordered, bott)
+			fb.sampleRates()
 			return
 		}
-		groupFrozen[pick] = true
-		for m := range pick.flows {
-			frozen[m] = pickMin
-			// Group members are pinned to the slowest member's rate, so
-			// its bottleneck is theirs.
-			bott[m] = bottleneckOf(rb, pickSlowest)
+		pick.frozen = true
+		// Group members are pinned to the slowest member's rate, so its
+		// bottleneck is theirs.
+		pb := fb.fillBneck[pickSlowest.slot]
+		for _, m := range pick.members {
+			s := m.slot
+			fb.frozenRate[s] = pickMin
+			fb.frozenSet[s] = true
+			fb.bott[s] = pb
 		}
 	}
-}
-
-// bottleneckOf reads a water-fill bottleneck map, mapping "never
-// frozen" to -1 (the map's zero value is a real link ID).
-func bottleneckOf(m map[*Flow]LinkID, fl *Flow) LinkID {
-	if fl == nil {
-		return -1
-	}
-	if b, ok := m[fl]; ok {
-		return b
-	}
-	return -1
 }
 
 // maxSamples bounds a single flow's recorded rate history; an endless
@@ -472,18 +632,17 @@ const maxSamples = 512
 // changed, when a LevelFull recorder is attached. Flows are visited in
 // ID order and each sample captures the flow's bottleneck link and that
 // link's aggregate/external load, which is all the attribution pass
-// needs.
-func (fb *Fabric) sampleRates(ordered []*Flow, bott map[*Flow]LinkID) {
+// needs. With coalesced recomputes a sample reflects the net effect of
+// the instant's whole mutation batch; transient rates between same-
+// instant mutations are never allocated, so they are never sampled.
+func (fb *Fabric) sampleRates() {
 	rec := trace.Of(fb.s)
 	if !rec.Enabled(trace.KindFlow) {
 		return
 	}
 	now := fb.s.Now()
-	for _, fl := range ordered {
-		b, ok := bott[fl]
-		if !ok {
-			b = -1
-		}
+	for _, fl := range fb.flows {
+		b := fb.bott[fl.slot]
 		s := trace.RateSample{T: now, Bps: fl.rate, Bottleneck: int32(b)}
 		if b >= 0 {
 			s.LinkBps = fb.linkRate[b]
@@ -504,34 +663,46 @@ func (fb *Fabric) sampleRates(ordered []*Flow, bott map[*Flow]LinkID) {
 	}
 }
 
-// waterfill runs classic progressive filling over the non-frozen flows,
-// treating frozen flows as fixed background load. It returns the rate
-// for every non-frozen flow, plus the link that saturated and froze
-// each flow (-1 for flows stopped by their own rate cap or by nothing
-// at all) — the per-fill bottleneck record the flight recorder samples.
-func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) (map[*Flow]float64, map[*Flow]LinkID) {
-	remCap := make([]float64, fb.net.NumLinks())
-	nActive := make([]int, fb.net.NumLinks())
-	touched := make([]LinkID, 0, 64)
-	mark := make([]bool, fb.net.NumLinks())
-
-	active := make([]*Flow, 0, len(fb.flows))
+// waterfill runs classic progressive filling over the non-frozen flows
+// (only the strict-priority ones when priorityOnly is set), treating
+// frozen flows as fixed background load. Results land in the fillRate /
+// fillBneck scratch: the rate for every participating flow, plus the
+// link that saturated and froze it (-1 for flows stopped by their own
+// rate cap or by nothing at all) — the per-fill bottleneck record the
+// flight recorder samples. Slots not participating read as rate 0,
+// bottleneck -1.
+func (fb *Fabric) waterfill(priorityOnly bool) {
+	n := len(fb.flows)
+	for i := 0; i < n; i++ {
+		fb.fillRate[i] = 0
+		fb.fillBneck[i] = -1
+		fb.fillLevel[i] = 0
+		fb.fillDone[i] = false
+	}
+	active := fb.active[:0]
 	for _, fl := range fb.flows {
-		if _, ok := frozen[fl]; ok {
+		if fb.frozenSet[fl.slot] {
 			continue
 		}
-		if !include(fl) {
+		if priorityOnly && !fl.priority {
 			continue
 		}
 		active = append(active, fl)
 	}
-	// Deterministic order.
-	sortFlows(active)
 
+	remCap := fb.remCap
 	for _, l := range fb.net.links {
 		remCap[l.ID] = l.Capacity
 	}
-	for fl, r := range frozen {
+	// Frozen flows are fixed background load. Subtract in flow-ID order:
+	// float subtraction is order-sensitive in its low bits, and this was
+	// the one map-ordered (and therefore nondeterministic) accumulation
+	// in the original allocator.
+	for _, fl := range fb.flows {
+		if !fb.frozenSet[fl.slot] {
+			continue
+		}
+		r := fb.frozenRate[fl.slot]
 		for _, l := range fl.Route {
 			remCap[l] -= r
 			if remCap[l] < 0 {
@@ -539,9 +710,11 @@ func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) 
 			}
 		}
 	}
+	nAct, mark := fb.nActive, fb.linkMark
+	touched := fb.touched[:0]
 	for _, fl := range active {
 		for _, l := range fl.Route {
-			nActive[l]++
+			nAct[l]++
 			if !mark[l] {
 				mark[l] = true
 				touched = append(touched, l)
@@ -549,28 +722,23 @@ func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) 
 		}
 	}
 
-	rates := make(map[*Flow]float64, len(active))
-	bneck := make(map[*Flow]LinkID, len(active))
-	level := make(map[*Flow]float64, len(active))
-	frozenHere := make(map[*Flow]bool, len(active))
 	remaining := len(active)
-
 	for remaining > 0 {
 		// Smallest headroom-per-flow across loaded links, and the
 		// smallest gap to a flow's rate cap.
 		inc := math.Inf(1)
 		for _, l := range touched {
-			if nActive[l] > 0 {
-				if h := remCap[l] / float64(nActive[l]); h < inc {
+			if nAct[l] > 0 {
+				if h := remCap[l] / float64(nAct[l]); h < inc {
 					inc = h
 				}
 			}
 		}
 		for _, fl := range active {
-			if frozenHere[fl] || fl.maxRate <= 0 {
+			if fb.fillDone[fl.slot] || fl.maxRate <= 0 {
 				continue
 			}
-			if gap := fl.maxRate - level[fl]; gap < inc {
+			if gap := fl.maxRate - fb.fillLevel[fl.slot]; gap < inc {
 				inc = gap
 			}
 		}
@@ -578,9 +746,9 @@ func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) 
 			// No constraining link or cap: should not happen since every
 			// route has at least one finite link; guard anyway.
 			for _, fl := range active {
-				if !frozenHere[fl] {
-					rates[fl] = level[fl]
-					bneck[fl] = -1
+				if !fb.fillDone[fl.slot] {
+					fb.fillRate[fl.slot] = fb.fillLevel[fl.slot]
+					fb.fillBneck[fl.slot] = -1
 				}
 			}
 			break
@@ -589,12 +757,12 @@ func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) 
 			inc = 0
 		}
 		for _, fl := range active {
-			if !frozenHere[fl] {
-				level[fl] += inc
+			if !fb.fillDone[fl.slot] {
+				fb.fillLevel[fl.slot] += inc
 			}
 		}
 		for _, l := range touched {
-			remCap[l] -= inc * float64(nActive[l])
+			remCap[l] -= inc * float64(nAct[l])
 			if remCap[l] < 0 {
 				remCap[l] = 0
 			}
@@ -602,10 +770,11 @@ func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) 
 		// Freeze flows on saturated links and flows at their caps.
 		capEps := 1e-6 // bytes/sec; far below any real link scale
 		for _, fl := range active {
-			if frozenHere[fl] {
+			s := fl.slot
+			if fb.fillDone[s] {
 				continue
 			}
-			stop := fl.maxRate > 0 && level[fl] >= fl.maxRate-capEps
+			stop := fl.maxRate > 0 && fb.fillLevel[s] >= fl.maxRate-capEps
 			blink := LinkID(-1)
 			if !stop {
 				for _, l := range fl.Route {
@@ -617,25 +786,24 @@ func (fb *Fabric) waterfill(frozen map[*Flow]float64, include func(*Flow) bool) 
 				}
 			}
 			if stop {
-				frozenHere[fl] = true
-				rates[fl] = level[fl]
-				bneck[fl] = blink
+				fb.fillDone[s] = true
+				fb.fillRate[s] = fb.fillLevel[s]
+				fb.fillBneck[s] = blink
 				remaining--
 				for _, l := range fl.Route {
-					nActive[l]--
+					nAct[l]--
 				}
 			}
 		}
 	}
-	return rates, bneck
-}
-
-func sortFlows(fs []*Flow) {
-	for i := 1; i < len(fs); i++ {
-		for j := i; j > 0 && fs[j].ID < fs[j-1].ID; j-- {
-			fs[j], fs[j-1] = fs[j-1], fs[j]
-		}
+	// Reset the per-link scratch so the next fill starts clean (the
+	// early-break path leaves residual counts behind).
+	for _, l := range touched {
+		nAct[l] = 0
+		mark[l] = false
 	}
+	fb.active = active[:0]
+	fb.touched = touched[:0]
 }
 
 // schedule arms the completion timer for the earliest-finishing flow.
@@ -680,13 +848,13 @@ func (fb *Fabric) schedule() {
 func (fb *Fabric) onTimer() {
 	fb.timer = nil
 	fb.progress()
-	var completed []*Flow
-	for _, fl := range fb.flows {
+	completed := fb.completed[:0]
+	for _, fl := range fb.flows { // already in flow-ID order
 		if !math.IsInf(fl.bytes, 1) && fl.bytes-fl.done <= byteEps {
 			completed = append(completed, fl)
 		}
 	}
-	sortFlows(completed)
+	fb.completed = completed[:0] // keep grown capacity for reuse
 	rec := trace.Of(fb.s)
 	for _, fl := range completed {
 		fl.done = fl.bytes
@@ -694,9 +862,10 @@ func (fb *Fabric) onTimer() {
 		fb.emitFlow(fl, rec)
 		fb.remove(fl)
 	}
-	fb.recompute()
-	// Signal after rates are consistent so that completion handlers that
-	// immediately start new flows observe a clean fabric.
+	// Flush before signaling so that completion handlers that
+	// immediately start new flows observe a clean, consistent fabric.
+	fb.dirty = true
+	fb.flush()
 	for _, fl := range completed {
 		fl.doneEv.Signal(fb.s)
 		for _, fn := range fl.onDone {

@@ -10,13 +10,14 @@
 // which models the lock-step behaviour of a ring-collective step.
 //
 // The fabric is event driven on top of the sim scheduler: rates are
-// recomputed only when the flow set changes, and a single timer tracks the
-// next flow completion.
+// recomputed only when the flow set changes — and at most once per
+// virtual instant, because same-instant mutations are coalesced into one
+// allocation flushed before the clock advances (or before any rate is
+// read) — and a single timer tracks the next flow completion.
 package netsim
 
 import (
 	"fmt"
-	"hash/fnv"
 )
 
 // NodeID identifies a vertex in the fabric graph (a switch or a NIC).
@@ -180,24 +181,33 @@ func (n *Network) computeShortestPaths(src, dst NodeID) [][]LinkID {
 	return paths
 }
 
+// FNV-1a constants, for the inlined ECMP hash below.
+const (
+	fnv64Offset uint64 = 14695981039346656037
+	fnv64Prime  uint64 = 1099511628211
+)
+
 // ECMPIndex deterministically hashes a flow identity onto one of nPaths
 // equal-cost paths, mimicking switch ECMP hashing of the 5-tuple. label
 // stands in for the transport ports: distinct connections between the same
 // endpoints get distinct labels.
+//
+// The FNV-1a hash is inlined rather than built on hash/fnv: this runs on
+// every unpinned flow start and fnv.New64a() allocates. The digest is
+// bit-identical to hashing the three values' little-endian bytes with
+// hash/fnv (asserted by TestECMPIndexMatchesFNV), so route choices are
+// stable across the rewrite.
 func ECMPIndex(src, dst NodeID, label uint64, nPaths int) int {
 	if nPaths <= 1 {
 		return 0
 	}
-	h := fnv.New64a()
-	var buf [24]byte
-	put64 := func(off int, v uint64) {
+	h := fnv64Offset
+	for _, v := range [3]uint64{uint64(src), uint64(dst), label} {
 		for i := 0; i < 8; i++ {
-			buf[off+i] = byte(v >> (8 * i))
+			h ^= v & 0xff
+			h *= fnv64Prime
+			v >>= 8
 		}
 	}
-	put64(0, uint64(src))
-	put64(8, uint64(dst))
-	put64(16, label)
-	h.Write(buf[:])
-	return int(h.Sum64() % uint64(nPaths))
+	return int(h % uint64(nPaths))
 }

@@ -17,6 +17,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"slices"
 	"time"
 )
 
@@ -154,6 +155,9 @@ type Scheduler struct {
 	picker   Picker
 	observer func(at Time, seq uint64)
 
+	// instantEnd holds the end-of-instant flushers (see OnInstantEnd).
+	instantEnd []func()
+
 	// traceSink is an opaque attachment point for the flight recorder
 	// (internal/trace). The scheduler is the one object every layer
 	// already holds, so parking the recorder here lets instrumentation
@@ -191,6 +195,35 @@ func (s *Scheduler) SetPicker(pk Picker) { s.picker = pk }
 // (at, seq) pairs is a complete fingerprint of the simulation schedule:
 // two runs are the same interleaving iff their observer streams match.
 func (s *Scheduler) SetObserver(fn func(at Time, seq uint64)) { s.observer = fn }
+
+// OnInstantEnd registers fn to run whenever the scheduler is about to
+// advance the virtual clock past the current instant, and once more when
+// the event queue drains. Layers that batch same-instant work (the
+// network fabric coalescing rate recomputations into one allocation per
+// instant) use it to flush pending state before time moves on, so every
+// cross-instant observable is consistent no matter how many mutations the
+// instant contained.
+//
+// fn may schedule new events — including events earlier than the pending
+// queue head — and the scheduler re-evaluates the queue when it does. fn
+// must be idempotent and cheap when there is nothing to flush: it can be
+// invoked more than once per instant.
+func (s *Scheduler) OnInstantEnd(fn func()) {
+	s.instantEnd = append(s.instantEnd, fn)
+}
+
+// runInstantEnd invokes the registered end-of-instant flushers and
+// reports whether any of them scheduled new work.
+func (s *Scheduler) runInstantEnd() bool {
+	if len(s.instantEnd) == 0 {
+		return false
+	}
+	q, r := len(s.queue), len(s.readySet)
+	for _, fn := range s.instantEnd {
+		fn()
+	}
+	return len(s.queue) != q || len(s.readySet) != r
+}
 
 // SetTraceSink attaches an opaque value (in practice a *trace.Recorder)
 // that instrumented layers retrieve via TraceSink. The scheduler itself
@@ -346,12 +379,29 @@ func (s *Scheduler) Run() error {
 // for the very next pick, so a fuzzing Picker can reorder them ahead of
 // older same-instant work.
 func (s *Scheduler) RunUntil(limit Time) error {
-	for len(s.queue) > 0 || len(s.readySet) > 0 {
+	for {
+		if len(s.queue) == 0 && len(s.readySet) == 0 {
+			// The queue drained: a final end-of-instant flush may reveal
+			// more work (a coalesced fabric arming its completion timer),
+			// in which case the run continues.
+			if !s.runInstantEnd() {
+				break
+			}
+			continue
+		}
 		if len(s.readySet) == 0 {
 			// Advance the clock to the next pending event.
 			ev := s.queue[0]
 			if ev.canceled {
 				heap.Pop(&s.queue)
+				continue
+			}
+			// The clock is about to move: let end-of-instant flushers
+			// finish the current instant first. They may enqueue new
+			// events (even earlier than the current head, e.g. a fabric
+			// arming a nearer completion timer), so re-evaluate the
+			// queue when they do.
+			if ev.at > s.now && s.runInstantEnd() {
 				continue
 			}
 			if ev.at > limit {
@@ -406,18 +456,8 @@ func (s *Scheduler) RunUntil(limit Time) error {
 		}
 	}
 	if len(e.Parked) > 0 {
-		sortStrings(e.Parked)
+		slices.Sort(e.Parked)
 		return e
 	}
 	return nil
-}
-
-// sortStrings is a tiny insertion sort so this package does not need to
-// import sort for one call site.
-func sortStrings(a []string) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
 }
