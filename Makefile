@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: all build test vet race check chaos bench bench-json trace
+.PHONY: all build fmt test vet race check chaos bench bench-json trace telemetry
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# fmt fails if any file needs gofmt; CI runs the same check.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -18,7 +25,7 @@ race:
 
 # check is the CI gate: everything must build, vet clean, and pass the
 # full test suite twice — once plain, once under the race detector.
-check: build vet test race
+check: build fmt vet test race
 
 # chaos runs the seeded chaos sweep on its own (it is also part of
 # `test`); useful when iterating on the harness.
@@ -40,3 +47,10 @@ bench-json:
 trace:
 	$(GO) run ./cmd/mccs-reconfig -run 6s -bg 2s -reconfig 4s -trace reconfig.trace.json
 	$(GO) run ./cmd/mccs-trace summarize reconfig.trace.json
+
+# telemetry samples the same run through the live metrics plane and
+# renders the operator view: per-tenant goodput, busiest links, SLO
+# violations (DESIGN.md §11).
+telemetry:
+	$(GO) run ./cmd/mccs-reconfig -run 6s -bg 2s -reconfig 4s -telemetry reconfig.telemetry.jsonl
+	$(GO) run ./cmd/mccs-top reconfig.telemetry.jsonl

@@ -24,6 +24,7 @@ func main() {
 	warmup := flag.Int("warmup", 2, "warmup iterations per trial")
 	trials := flag.Int("trials", 5, "ECMP-salt trials (variance sampling)")
 	tracePath := flag.String("trace", "", "record the first benchmark cell's first trial as Chrome trace-event JSON here")
+	telemetryPath := flag.String("telemetry", "", "sample the first benchmark cell's first trial and write the metrics series here (JSONL; .prom for Prometheus text)")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -68,10 +69,15 @@ func main() {
 					}
 					// Only the very first cell is traced: one full-detail
 					// recording is the debugging artifact; tracing every
-					// cell would just overwrite it.
+					// cell would just overwrite it. Telemetry follows the
+					// same rule.
 					if *tracePath != "" {
 						cell.TracePath = *tracePath
 						*tracePath = ""
+					}
+					if *telemetryPath != "" {
+						cell.TelemetryPath = *telemetryPath
+						*telemetryPath = ""
 					}
 					res, err := harness.RunSingleApp(cell)
 					if err != nil {

@@ -1,9 +1,24 @@
 // mccs-benchjson converts `go test -bench` output on stdin into a JSON
-// array of {bench, metric, value} records on stdout, one record per
-// reported metric (ns/op, B/op, allocs/op, and every custom
+// array of {bench, metric, value, unit} records on stdout, one record
+// per reported metric (ns/op, B/op, allocs/op, and every custom
 // b.ReportMetric unit such as mean-comm-% or GB/s). CI runs the root
 // benchmark suite through it to publish BENCH.json as a build artifact,
 // so regressions are diffable across runs without scraping logs.
+//
+// # Units convention
+//
+// "metric" is the label exactly as Go printed it; "unit" is the unit of
+// "value", normalized so downstream tooling never parses labels:
+//
+//   - Go's standard per-op metrics drop the "/op" denominator: ns/op
+//     reports unit "ns", B/op reports "B", allocs/op reports "allocs".
+//     The value is still per operation — the denominator is implied by
+//     the bench protocol, not repeated in the unit.
+//   - Custom b.ReportMetric labels are already units (GB/s, pre-GB/s,
+//     mean-comm-%); they pass through unchanged.
+//
+// This mirrors the telemetry plane's convention (see internal/telemetry)
+// that every exported number declares the unit it is measured in.
 //
 // Usage:
 //
@@ -25,6 +40,23 @@ type Record struct {
 	Bench  string  `json:"bench"`
 	Metric string  `json:"metric"`
 	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+}
+
+// unitOf normalizes a metric label to the unit of its value (see the
+// package comment's units convention).
+func unitOf(metric string) string {
+	switch metric {
+	case "ns/op":
+		return "ns"
+	case "B/op":
+		return "B"
+	case "allocs/op":
+		return "allocs"
+	case "MB/s":
+		return "MB/s" // Go's SetBytes throughput: already a plain unit
+	}
+	return metric
 }
 
 // benchLine matches one result line: the benchmark name (with its
@@ -45,7 +77,7 @@ func parse(line string) []Record {
 		if err != nil {
 			return nil // not a results line after all (e.g. a log line)
 		}
-		recs = append(recs, Record{Bench: name, Metric: tail[i+1], Value: v})
+		recs = append(recs, Record{Bench: name, Metric: tail[i+1], Value: v, Unit: unitOf(tail[i+1])})
 	}
 	return recs
 }

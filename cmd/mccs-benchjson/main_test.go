@@ -15,8 +15,32 @@ func TestParseResultLine(t *testing.T) {
 	if recs[0].Metric != "ns/op" || recs[0].Value != 52731042 {
 		t.Errorf("first record = %+v, want ns/op 52731042", recs[0])
 	}
+	if recs[0].Unit != "ns" {
+		t.Errorf("ns/op unit = %q, want ns", recs[0].Unit)
+	}
 	if recs[2].Metric != "during-GB/s" || recs[2].Value != 2.174 {
 		t.Errorf("third record = %+v, want during-GB/s 2.174", recs[2])
+	}
+	if recs[2].Unit != "during-GB/s" {
+		t.Errorf("custom metric unit = %q, want pass-through", recs[2].Unit)
+	}
+}
+
+// The units convention: standard per-op metrics drop the /op
+// denominator, custom ReportMetric labels pass through.
+func TestUnitOf(t *testing.T) {
+	cases := map[string]string{
+		"ns/op":       "ns",
+		"B/op":        "B",
+		"allocs/op":   "allocs",
+		"MB/s":        "MB/s",
+		"GB/s":        "GB/s",
+		"mean-comm-%": "mean-comm-%",
+	}
+	for metric, want := range cases {
+		if got := unitOf(metric); got != want {
+			t.Errorf("unitOf(%q) = %q, want %q", metric, got, want)
+		}
 	}
 }
 

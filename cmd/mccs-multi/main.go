@@ -19,6 +19,7 @@ func main() {
 	iters := flag.Int("iters", 20, "measured iterations")
 	warmup := flag.Int("warmup", 4, "warmup iterations")
 	trials := flag.Int("trials", 5, "ECMP-salt trials")
+	telemetryPath := flag.String("telemetry", "", "sample the first instrumented run's first trial and write the metrics series here (JSONL; .prom for Prometheus text)")
 	flag.Parse()
 
 	env, err := harness.NewTestbedEnv(ncclsim.MCCS)
@@ -42,10 +43,17 @@ func main() {
 		}
 		fmt.Printf(" %10s\n", "aggregate")
 		for _, sys := range ncclsim.Systems() {
-			res, err := harness.RunMultiApp(harness.MultiAppConfig{
+			mcfg := harness.MultiAppConfig{
 				System: sys, Apps: apps, Bytes: *bytes,
 				Warmup: *warmup, Iters: *iters, Trials: *trials,
-			})
+			}
+			// Instrument only the first run that asks for it: one series
+			// is the artifact; later runs would overwrite it.
+			if *telemetryPath != "" {
+				mcfg.TelemetryPath = *telemetryPath
+				*telemetryPath = ""
+			}
+			res, err := harness.RunMultiApp(mcfg)
 			if err != nil {
 				log.Fatalf("setup %d %v: %v", setup, sys, err)
 			}

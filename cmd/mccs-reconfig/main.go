@@ -19,6 +19,8 @@ func main() {
 	reconfAt := flag.Duration("reconfig", 12*time.Second, "ring reversal time")
 	csv := flag.Bool("csv", false, "emit the full time series as CSV")
 	tracePath := flag.String("trace", "", "record the run and write Chrome trace-event JSON here")
+	telemetryPath := flag.String("telemetry", "", "sample the metrics registry and write the series here (JSONL; .prom for Prometheus text)")
+	telemetryEvery := flag.Duration("telemetry-every", 0, "telemetry sampling interval (default 100ms)")
 	flag.Parse()
 
 	cfg := harness.DefaultReconfigConfig()
@@ -27,12 +29,20 @@ func main() {
 	cfg.BgRate = *bgGbps * 125e6
 	cfg.ReconfigAt = *reconfAt
 	cfg.TracePath = *tracePath
+	cfg.TelemetryPath = *telemetryPath
+	cfg.TelemetryEvery = *telemetryEvery
 	res, err := harness.RunReconfigShowcase(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if *tracePath != "" {
 		fmt.Printf("trace written to %s (view in Perfetto, or: mccs-trace summarize %s)\n", *tracePath, *tracePath)
+	}
+	if *telemetryPath != "" {
+		fmt.Printf("telemetry written to %s (render with: mccs-top %s)\n", *telemetryPath, *telemetryPath)
+		if res.Telemetry != nil {
+			fmt.Printf("  %d samples, %d SLO violations\n", len(res.Telemetry.Samples), len(res.Telemetry.Violations))
+		}
 	}
 
 	fmt.Printf("[Fig. 7] 8-GPU 128MB AllReduce on a 4-switch ring, %d iterations\n", len(res.Series))

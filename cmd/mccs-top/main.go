@@ -1,0 +1,226 @@
+// mccs-top renders a cluster operator's view of an MCCS telemetry
+// series: per-tenant goodput, the busiest fabric links, and the SLO
+// violations the run produced. It reads a JSONL file exported with
+// -telemetry (mccs-reconfig, mccs-bench, mccs-multi) or, with -live,
+// runs the contended Fig. 7 reconfiguration scenario itself and renders
+// the resulting series.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"mccs/internal/harness"
+	"mccs/internal/telemetry"
+)
+
+func main() {
+	live := flag.Bool("live", false, "run the contended reconfiguration scenario instead of reading a file")
+	lastN := flag.Int("last", 0, "compute rates over the last N samples only (0 = whole series)")
+	topLinks := flag.Int("links", 6, "busiest links to show")
+	topViol := flag.Int("violations", 8, "most recent SLO violations to show")
+	every := flag.Duration("every", 0, "sampling interval for -live (default 100ms)")
+	flag.Parse()
+
+	var se *telemetry.Series
+	switch {
+	case *live:
+		cfg := harness.DefaultReconfigConfig()
+		cfg.TelemetryEvery = *every
+		if cfg.TelemetryEvery <= 0 {
+			cfg.TelemetryEvery = telemetry.DefaultInterval
+		}
+		res, err := harness.RunReconfigShowcase(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		se = res.Telemetry
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		se, err = telemetry.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mccs-top [flags] telemetry.jsonl\n       mccs-top -live [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	render(os.Stdout, se, options{lastN: *lastN, topLinks: *topLinks, topViolations: *topViol})
+}
+
+// options bounds what render shows.
+type options struct {
+	lastN         int // rate window in samples; 0 = whole series
+	topLinks      int
+	topViolations int
+}
+
+// window returns the samples the rate computations cover.
+func window(se *telemetry.Series, lastN int) []telemetry.Sample {
+	s := se.Samples
+	if lastN > 0 && len(s) > lastN {
+		s = s[len(s)-lastN:]
+	}
+	return s
+}
+
+// render writes the full operator view.
+func render(w io.Writer, se *telemetry.Series, opt options) {
+	if se == nil || len(se.Samples) == 0 {
+		fmt.Fprintln(w, "no samples in series")
+		return
+	}
+	s := window(se, opt.lastN)
+	first, last := s[0], s[len(s)-1]
+	fmt.Fprintf(w, "mccs-top: %d samples every %v, window [%.3fs, %.3fs]\n",
+		len(se.Samples), time.Duration(se.Interval), first.T.Seconds(), last.T.Seconds())
+
+	renderTenants(w, se, s)
+	renderLinks(w, se, s, opt.topLinks)
+	renderViolations(w, se, opt.topViolations)
+}
+
+// tenantRow aggregates one tenant across hosts and links.
+type tenantRow struct {
+	Tenant     string
+	GoodputBps float64 // transport tx rate over the window
+	Ops        float64 // collectives completed (end of window)
+	Reconfigs  float64
+	Violations int
+}
+
+// tenantRows computes the per-tenant table over the sample window.
+func tenantRows(se *telemetry.Series, s []telemetry.Sample) []tenantRow {
+	first, last := s[0], s[len(s)-1]
+	elapsed := last.T.Sub(first.T).Seconds()
+	byTenant := make(map[string]*tenantRow)
+	row := func(tenant string) *tenantRow {
+		r := byTenant[tenant]
+		if r == nil {
+			r = &tenantRow{Tenant: tenant}
+			byTenant[tenant] = r
+		}
+		return r
+	}
+	for _, c := range se.FindCols("mccs_transport_tx_bytes_total", telemetry.L("tenant", "")) {
+		r := row(se.LabelValue(c, "tenant"))
+		if elapsed > 0 {
+			r.GoodputBps += (se.Value(last, c) - se.Value(first, c)) / elapsed
+		} else if t := last.T.Seconds(); t > 0 {
+			// Single-sample window: counters started at 0 at t=0.
+			r.GoodputBps += se.Value(last, c) / t
+		}
+	}
+	for _, c := range se.FindCols("mccs_proxy_ops_total", telemetry.L("tenant", "")) {
+		row(se.LabelValue(c, "tenant")).Ops += se.Value(last, c)
+	}
+	for _, c := range se.FindCols("mccs_proxy_reconfigs_total", telemetry.L("tenant", "")) {
+		row(se.LabelValue(c, "tenant")).Reconfigs += se.Value(last, c)
+	}
+	for _, v := range se.Violations {
+		row(v.Tenant).Violations++
+	}
+	rows := make([]tenantRow, 0, len(byTenant))
+	for _, r := range byTenant {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Tenant < rows[j].Tenant })
+	return rows
+}
+
+func renderTenants(w io.Writer, se *telemetry.Series, s []telemetry.Sample) {
+	rows := tenantRows(se, s)
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-12s %14s %10s %10s %11s\n", "TENANT", "GOODPUT GB/s", "OPS", "RECONFIGS", "VIOLATIONS")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %14.2f %10.0f %10.0f %11d\n",
+			r.Tenant, r.GoodputBps/1e9, r.Ops, r.Reconfigs, r.Violations)
+	}
+}
+
+// linkRow is one fabric link's utilization over the window.
+type linkRow struct {
+	Name     string
+	CapBps   float64
+	MeanUtil float64
+	ExtShare float64 // external (unmanaged) traffic share of capacity
+}
+
+// linkRows computes mean utilization per link over the sample window,
+// sorted busiest first.
+func linkRows(se *telemetry.Series, s []telemetry.Sample) []linkRow {
+	var rows []linkRow
+	for _, l := range se.Links {
+		cols := se.FindCols("mccs_fabric_link_utilization", telemetry.L("link", l.Name))
+		if len(cols) == 0 {
+			continue
+		}
+		ext := se.FindCols("mccs_fabric_link_external_bps", telemetry.L("link", l.Name))
+		var util, extBps float64
+		for _, smp := range s {
+			util += se.Value(smp, cols[0])
+			if len(ext) > 0 {
+				extBps += se.Value(smp, ext[0])
+			}
+		}
+		n := float64(len(s))
+		r := linkRow{Name: l.Name, CapBps: l.CapBps, MeanUtil: util / n}
+		if l.CapBps > 0 {
+			r.ExtShare = extBps / n / l.CapBps
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].MeanUtil != rows[j].MeanUtil {
+			return rows[i].MeanUtil > rows[j].MeanUtil
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+func renderLinks(w io.Writer, se *telemetry.Series, s []telemetry.Sample, top int) {
+	rows := linkRows(se, s)
+	if len(rows) == 0 {
+		return
+	}
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	fmt.Fprintf(w, "\n%-24s %10s %8s %10s\n", "BUSIEST LINKS", "CAP Gb/s", "UTIL", "EXTERNAL")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-24s %10.0f %7.1f%% %9.1f%%\n",
+			r.Name, r.CapBps*8/1e9, r.MeanUtil*100, r.ExtShare*100)
+	}
+}
+
+func renderViolations(w io.Writer, se *telemetry.Series, top int) {
+	vs := se.Violations
+	fmt.Fprintf(w, "\nSLO VIOLATIONS: %d\n", len(vs))
+	if len(vs) == 0 {
+		return
+	}
+	if top > 0 && len(vs) > top {
+		vs = vs[len(vs)-top:]
+	}
+	fmt.Fprintf(w, "%-10s %-12s %-24s %12s %12s %12s\n",
+		"T", "TENANT", "LINK", "ACHVD GB/s", "ENTLD GB/s", "DEFICIT GB/s")
+	for _, v := range vs {
+		fmt.Fprintf(w, "%9.3fs %-12s %-24s %12.2f %12.2f %12.2f\n",
+			v.T.Seconds(), v.Tenant, v.LinkName,
+			v.AchievedBps/1e9, v.EntitledBps/1e9, v.DeficitBps/1e9)
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"mccs/internal/sim"
+	"mccs/internal/telemetry"
+)
+
+// synthetic builds a two-tenant, two-link series by hand: tenant "a"
+// pushes 2 GB/s of tx bytes, tenant "b" 1 GB/s, link l0 runs hot with
+// external traffic, and "b" takes one SLO violation.
+func synthetic() *telemetry.Series {
+	sec := sim.Time(time.Second)
+	cols := []telemetry.Column{
+		{Name: "mccs_transport_tx_bytes_total", Unit: "bytes", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("host", "h0"), telemetry.L("tenant", "a")}},
+		{Name: "mccs_transport_tx_bytes_total", Unit: "bytes", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("host", "h0"), telemetry.L("tenant", "b")}},
+		{Name: "mccs_proxy_ops_total", Unit: "ops", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("tenant", "a")}},
+		{Name: "mccs_fabric_link_utilization", Unit: "ratio", Kind: "gauge",
+			Labels: []telemetry.Label{telemetry.L("link", "l0")}},
+		{Name: "mccs_fabric_link_utilization", Unit: "ratio", Kind: "gauge",
+			Labels: []telemetry.Label{telemetry.L("link", "l1")}},
+		{Name: "mccs_fabric_link_external_bps", Unit: "bytes/s", Kind: "gauge",
+			Labels: []telemetry.Label{telemetry.L("link", "l0")}},
+	}
+	return &telemetry.Series{
+		Interval: time.Second,
+		Cols:     cols,
+		Links: []telemetry.LinkInfo{
+			{ID: 0, Name: "l0", CapBps: 12.5e9},
+			{ID: 1, Name: "l1", CapBps: 12.5e9},
+		},
+		Samples: []telemetry.Sample{
+			{T: 0, V: []float64{0, 0, 0, 0.9, 0.2, 5e9}},
+			{T: sec, V: []float64{2e9, 1e9, 10, 0.9, 0.2, 5e9}},
+			{T: 2 * sec, V: []float64{4e9, 2e9, 20, 0.9, 0.2, 5e9}},
+		},
+		Violations: []telemetry.Violation{
+			{T: sec, Window: time.Second, Tenant: "b", Link: 0, LinkName: "l0",
+				AchievedBps: 1e9, EntitledBps: 6.25e9, DeficitBps: 5.25e9},
+		},
+	}
+}
+
+func TestTenantRows(t *testing.T) {
+	se := synthetic()
+	rows := tenantRows(se, se.Samples)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	a, b := rows[0], rows[1]
+	if a.Tenant != "a" || b.Tenant != "b" {
+		t.Fatalf("tenant order: %+v", rows)
+	}
+	if a.GoodputBps != 2e9 || b.GoodputBps != 1e9 {
+		t.Errorf("goodput a=%g b=%g, want 2e9/1e9", a.GoodputBps, b.GoodputBps)
+	}
+	if a.Ops != 20 {
+		t.Errorf("ops = %g, want 20", a.Ops)
+	}
+	if a.Violations != 0 || b.Violations != 1 {
+		t.Errorf("violations a=%d b=%d", a.Violations, b.Violations)
+	}
+}
+
+func TestLinkRows(t *testing.T) {
+	se := synthetic()
+	rows := linkRows(se, se.Samples)
+	if len(rows) != 2 || rows[0].Name != "l0" {
+		t.Fatalf("rows = %+v (busiest first)", rows)
+	}
+	if math.Abs(rows[0].MeanUtil-0.9) > 1e-12 || math.Abs(rows[1].MeanUtil-0.2) > 1e-12 {
+		t.Errorf("util = %g/%g", rows[0].MeanUtil, rows[1].MeanUtil)
+	}
+	if rows[0].ExtShare != 0.4 {
+		t.Errorf("external share = %g, want 0.4", rows[0].ExtShare)
+	}
+	if rows[1].ExtShare != 0 {
+		t.Errorf("l1 external share = %g, want 0", rows[1].ExtShare)
+	}
+}
+
+func TestRender(t *testing.T) {
+	var b strings.Builder
+	render(&b, synthetic(), options{topLinks: 5, topViolations: 5})
+	out := b.String()
+	for _, want := range []string{
+		"3 samples", "TENANT", "GOODPUT",
+		"BUSIEST LINKS", "l0", "l1",
+		"SLO VIOLATIONS: 1", "6.25", // entitled GB/s
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	var b strings.Builder
+	render(&b, nil, options{})
+	if !strings.Contains(b.String(), "no samples") {
+		t.Errorf("empty render = %q", b.String())
+	}
+}
+
+func TestWindowLastN(t *testing.T) {
+	se := synthetic()
+	w := window(se, 2)
+	if len(w) != 2 || w[0].T != sim.Time(time.Second) {
+		t.Fatalf("window = %+v", w)
+	}
+	// Rates over the trailing window still come out per-second.
+	rows := tenantRows(se, w)
+	if rows[0].GoodputBps != 2e9 {
+		t.Errorf("windowed goodput = %g", rows[0].GoodputBps)
+	}
+	if got := window(se, 0); len(got) != 3 {
+		t.Errorf("lastN=0 must keep the whole series")
+	}
+}

@@ -3,11 +3,13 @@ package chaos
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"mccs/internal/harness"
 	"mccs/internal/spec"
+	"mccs/internal/telemetry"
 )
 
 // ledger records every collective execution the proxies perform —
@@ -126,8 +128,53 @@ func checkInvariants(env *harness.Env, sc Scenario, led *ledger, simErr error, r
 	if err := env.Deployment.CheckQuiescent(); err != nil {
 		errs = append(errs, "quiescence: "+err.Error())
 	}
+	if err := checkTelemetry(env.Telemetry); err != nil {
+		errs = append(errs, "telemetry: "+err.Error())
+	}
 	if len(errs) == 0 {
 		return nil
 	}
 	return errors.New(strings.Join(errs, "\n  "))
+}
+
+// checkTelemetry certifies the metrics plane over the full sampled
+// series: every exported value is finite, and every counter-backed
+// column (counters proper plus cumulative histogram buckets, sums of
+// non-negative observations, and counts) is monotonically
+// non-decreasing across samples. A decrease means a metric handle was
+// rebuilt mid-run or a snapshot raced the emit path — both would poison
+// any rate computed from the series.
+func checkTelemetry(sm *telemetry.Sampler) error {
+	if sm == nil {
+		return nil
+	}
+	cols := sm.Registry().Schema()
+	prev := make([]float64, len(cols))
+	for si, s := range sm.Samples() {
+		// Samples taken before a late-registered metric existed are
+		// narrower than the final schema; indexes are registration-order
+		// so the prefix still lines up column for column.
+		if len(s.V) > len(cols) {
+			return fmt.Errorf("sample %d has %d columns, schema has %d", si, len(s.V), len(cols))
+		}
+		for ci, v := range s.V {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("sample %d (t=%d) column %q: non-finite value %v", si, int64(s.T), cols[ci].Name, v)
+			}
+			if cols[ci].Kind != "gauge" {
+				if v < prev[ci] {
+					return fmt.Errorf("sample %d (t=%d) column %q: counter decreased %v -> %v",
+						si, int64(s.T), cols[ci].Name, prev[ci], v)
+				}
+				prev[ci] = v
+			}
+		}
+	}
+	for _, v := range sm.Registry().SLO.Violations() {
+		if math.IsNaN(v.AchievedBps) || math.IsInf(v.AchievedBps, 0) ||
+			math.IsNaN(v.EntitledBps) || math.IsInf(v.EntitledBps, 0) {
+			return fmt.Errorf("violation at t=%d on %q: non-finite rates", int64(v.T), v.LinkName)
+		}
+	}
+	return nil
 }

@@ -103,7 +103,7 @@ func RunSeed(sc Scenario, seed uint64) Result {
 	}
 
 	led := newLedger()
-	env, rec, err := harness.NewTestbedEnvTraced(ncclsim.MCCS, seed, chaosTraceCap, func(c *mccsd.Config) {
+	env, err := harness.NewTestbedEnvInstrumented(ncclsim.MCCS, seed, chaosTraceCap, chaosTelemetryEvery, func(c *mccsd.Config) {
 		c.Proxy.ExecObserver = led.observe
 		c.Proxy.UnsafeSkipSeqBarrier = sc.SkipSeqBarrier
 	})
@@ -111,6 +111,7 @@ func RunSeed(sc Scenario, seed uint64) Result {
 		res.Err = fmt.Errorf("chaos: building testbed: %w", err)
 		return res
 	}
+	rec := trace.Of(env.S)
 	env.S.SetPicker(&fuzzPicker{rng: sched})
 	tr := newTracer()
 	env.S.SetObserver(tr.observe)
@@ -152,6 +153,13 @@ func RunSeed(sc Scenario, seed uint64) Result {
 // workloads are small (a few thousand spans); a compact ring keeps
 // sweeps over hundreds of seeds from thrashing the allocator.
 const chaosTraceCap = 1 << 15
+
+// chaosTelemetryEvery is the per-seed telemetry sampling interval. The
+// workloads span milliseconds of virtual time, so a fine interval gives
+// every seed enough samples for the monotonicity/finiteness invariant
+// to bite. The sampler adds no scheduler events, so the fuzzed schedule
+// (and hence the replay fingerprint) is identical with and without it.
+const chaosTelemetryEvery = 200 * time.Microsecond
 
 // dumpTrace writes the failing run's full span recording to a temp file
 // as Chrome trace-event JSON and returns its path ("" if the dump itself

@@ -8,6 +8,8 @@ package harness
 import (
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"mccs/internal/collective"
 	"mccs/internal/gpusim"
@@ -18,6 +20,7 @@ import (
 	"mccs/internal/policy"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
+	"mccs/internal/telemetry"
 	"mccs/internal/topo"
 	"mccs/internal/trace"
 )
@@ -28,6 +31,9 @@ type Env struct {
 	Cluster    *topo.Cluster
 	Fabric     *netsim.Fabric
 	Deployment *mccsd.Deployment
+	// Telemetry is the sim-time sampler when the env was built with a
+	// telemetry interval; nil otherwise.
+	Telemetry *telemetry.Sampler
 }
 
 // NewTestbedEnv builds the paper's 4-host testbed under the given system.
@@ -59,14 +65,29 @@ func NewTestbedEnvTraced(system ncclsim.System, salt uint64, traceCap int, mutat
 	if traceCap <= 0 {
 		traceCap = trace.DefaultCapacity
 	}
-	env, err := newTestbedEnv(system, salt, mutate, traceCap)
+	env, err := newTestbedEnvFull(system, salt, mutate, traceCap, 0)
 	if err != nil {
 		return nil, nil, err
 	}
 	return env, trace.Of(env.S), nil
 }
 
+// NewTestbedEnvInstrumented is NewTestbedEnvTraced plus a telemetry
+// registry and sampler (telemetryEvery <= 0 selects
+// telemetry.DefaultInterval). The chaos harness uses it to cross-check
+// the metrics plane against its invariants on every seed.
+func NewTestbedEnvInstrumented(system ncclsim.System, salt uint64, traceCap int, telemetryEvery time.Duration, mutate func(*mccsd.Config)) (*Env, error) {
+	if telemetryEvery <= 0 {
+		telemetryEvery = telemetry.DefaultInterval
+	}
+	return newTestbedEnvFull(system, salt, mutate, traceCap, telemetryEvery)
+}
+
 func newTestbedEnv(system ncclsim.System, salt uint64, mutate func(*mccsd.Config), traceCap int) (*Env, error) {
+	return newTestbedEnvFull(system, salt, mutate, traceCap, 0)
+}
+
+func newTestbedEnvFull(system ncclsim.System, salt uint64, mutate func(*mccsd.Config), traceCap int, telemetryEvery time.Duration) (*Env, error) {
 	cluster, err := topo.BuildClos(topo.TestbedConfig())
 	if err != nil {
 		return nil, err
@@ -75,6 +96,13 @@ func newTestbedEnv(system ncclsim.System, salt uint64, mutate func(*mccsd.Config
 	if traceCap > 0 {
 		trace.Attach(s, trace.NewRecorder(trace.LevelFull, traceCap))
 	}
+	// The registry must attach before the fabric and deployment are
+	// built: every layer caches its metric handles at construction.
+	var reg *telemetry.Registry
+	if telemetryEvery > 0 {
+		reg = telemetry.NewRegistry()
+		telemetry.Attach(s, reg)
+	}
 	fabric := netsim.NewFabric(s, cluster.Net)
 	cfg := ncclsim.Config(system)
 	cfg.Proxy.LabelSalt = salt
@@ -82,7 +110,11 @@ func newTestbedEnv(system ncclsim.System, salt uint64, mutate func(*mccsd.Config
 		mutate(&cfg)
 	}
 	dep := mccsd.NewDeployment(s, cluster, fabric, cfg)
-	return &Env{S: s, Cluster: cluster, Fabric: fabric, Deployment: dep}, nil
+	env := &Env{S: s, Cluster: cluster, Fabric: fabric, Deployment: dep}
+	if reg != nil {
+		env.Telemetry = telemetry.StartSampler(s, reg, telemetryEvery)
+	}
+	return env, nil
 }
 
 // WriteTraceFile flushes still-active flows into the scheduler's flight
@@ -101,6 +133,29 @@ func WriteTraceFile(path string, s *sim.Scheduler, fabric *netsim.Fabric) error 
 		return err
 	}
 	if err := trace.WriteChrome(f, rec.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteTelemetryFile exports a sampler's series at path: JSONL by
+// default, Prometheus text exposition when path ends in ".prom".
+// Harness drivers call it at experiment end when -telemetry is set.
+func WriteTelemetryFile(path string, sm *telemetry.Sampler) error {
+	if sm == nil {
+		return fmt.Errorf("harness: no telemetry sampler attached")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".prom") {
+		err = telemetry.WritePrometheus(f, sm.Registry())
+	} else {
+		err = telemetry.WriteJSONL(f, sm)
+	}
+	if err != nil {
 		f.Close()
 		return err
 	}
@@ -178,6 +233,13 @@ type SingleAppConfig struct {
 	// writes Chrome trace-event JSON there (view in Perfetto or dump
 	// with cmd/mccs-trace). Later trials run untraced.
 	TracePath string
+	// TelemetryPath, when set, samples the metrics registry during the
+	// first trial and writes the series there (JSONL by default, ".prom"
+	// selects Prometheus text). Later trials run uninstrumented.
+	TelemetryPath string
+	// TelemetryEvery overrides the sampling interval
+	// (telemetry.DefaultInterval when zero).
+	TelemetryEvery time.Duration
 }
 
 // SingleAppResult aggregates one Fig. 6 cell.
@@ -205,6 +267,7 @@ func RunSingleApp(cfg SingleAppConfig) (SingleAppResult, error) {
 		tcfg := cfg
 		if trial > 0 {
 			tcfg.TracePath = ""
+			tcfg.TelemetryPath = ""
 		}
 		vals, err := runSingleTrial(tcfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15)
 		if err != nil {
@@ -269,6 +332,7 @@ func runSingleMutated(cfg SingleAppConfig, mutate func(*mccsd.Config)) (SingleAp
 		tcfg := cfg
 		if trial > 0 {
 			tcfg.TracePath = ""
+			tcfg.TelemetryPath = ""
 		}
 		vals, err := runSingleTrialMutated(tcfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15, mutate)
 		if err != nil {
@@ -297,7 +361,14 @@ func runSingleTrialMutated(cfg SingleAppConfig, salt uint64, mutate func(*mccsd.
 	if cfg.TracePath != "" {
 		traceCap = trace.DefaultCapacity
 	}
-	env, err := newTestbedEnv(cfg.System, salt, mutate, traceCap)
+	telemetryEvery := time.Duration(0)
+	if cfg.TelemetryPath != "" {
+		telemetryEvery = cfg.TelemetryEvery
+		if telemetryEvery <= 0 {
+			telemetryEvery = telemetry.DefaultInterval
+		}
+	}
+	env, err := newTestbedEnvFull(cfg.System, salt, mutate, traceCap, telemetryEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -373,6 +444,11 @@ func runSingleTrialMutated(cfg SingleAppConfig, salt uint64, mutate func(*mccsd.
 	}
 	if cfg.TracePath != "" {
 		if err := WriteTraceFile(cfg.TracePath, env.S, env.Fabric); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.TelemetryPath != "" {
+		if err := WriteTelemetryFile(cfg.TelemetryPath, env.Telemetry); err != nil {
 			return nil, err
 		}
 	}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"time"
 
 	"mccs/internal/collective"
 	"mccs/internal/mccsd"
@@ -10,6 +11,7 @@ import (
 	"mccs/internal/policy"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
+	"mccs/internal/telemetry"
 	"mccs/internal/topo"
 )
 
@@ -83,6 +85,13 @@ type MultiAppConfig struct {
 	// Priorities optionally assigns app priorities before comm creation
 	// (used by the QoS experiments that reuse this driver).
 	Priorities map[spec.AppID]int
+	// TelemetryPath, when set, samples the metrics registry during the
+	// first trial and writes the series there (JSONL by default, ".prom"
+	// selects Prometheus text). Later trials run uninstrumented.
+	TelemetryPath string
+	// TelemetryEvery overrides the sampling interval
+	// (telemetry.DefaultInterval when zero).
+	TelemetryEvery time.Duration
 }
 
 // MultiAppResult reports the per-application bus bandwidth.
@@ -112,7 +121,11 @@ func RunMultiApp(cfg MultiAppConfig) (MultiAppResult, error) {
 	}
 	pooled := make(map[spec.AppID][]float64, len(cfg.Apps))
 	for trial := 0; trial < cfg.Trials; trial++ {
-		vals, err := runMultiTrial(cfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15)
+		tcfg := cfg
+		if trial > 0 {
+			tcfg.TelemetryPath = ""
+		}
+		vals, err := runMultiTrial(tcfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15)
 		if err != nil {
 			return MultiAppResult{}, err
 		}
@@ -136,7 +149,14 @@ func RunMultiApp(cfg MultiAppConfig) (MultiAppResult, error) {
 }
 
 func runMultiTrial(cfg MultiAppConfig, salt uint64) (map[spec.AppID][]float64, error) {
-	env, err := NewTestbedEnvSalted(cfg.System, salt)
+	telemetryEvery := time.Duration(0)
+	if cfg.TelemetryPath != "" {
+		telemetryEvery = cfg.TelemetryEvery
+		if telemetryEvery <= 0 {
+			telemetryEvery = telemetry.DefaultInterval
+		}
+	}
+	env, err := newTestbedEnvFull(cfg.System, salt, nil, 0, telemetryEvery)
 	if err != nil {
 		return nil, err
 	}
@@ -211,6 +231,11 @@ func runMultiTrial(cfg MultiAppConfig, salt uint64) (map[spec.AppID][]float64, e
 	}
 	if len(errs) > 0 {
 		return nil, errs[0]
+	}
+	if cfg.TelemetryPath != "" {
+		if err := WriteTelemetryFile(cfg.TelemetryPath, env.Telemetry); err != nil {
+			return nil, err
+		}
 	}
 	out := make(map[spec.AppID][]float64, len(cfg.Apps))
 	for _, a := range cfg.Apps {

@@ -10,6 +10,7 @@ import (
 	"mccs/internal/policy"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
+	"mccs/internal/telemetry"
 	"mccs/internal/topo"
 	"mccs/internal/trace"
 	"mccs/internal/transport"
@@ -37,6 +38,17 @@ type ReconfigConfig struct {
 	// Chrome trace-event JSON there. The trace shows the background flow
 	// start, the reconfiguration barrier phases, and the rate recovery.
 	TracePath string
+	// TelemetryPath, when set, samples the metrics registry during the
+	// run and writes the series there (JSONL by default, ".prom" selects
+	// Prometheus text). The series shows link utilization collapsing on
+	// the contended link, the SLO violations it produces, and the
+	// recovery after the ring reversal.
+	TelemetryPath string
+	// TelemetryEvery overrides the sampling interval
+	// (telemetry.DefaultInterval when zero). Setting it with an empty
+	// TelemetryPath still samples — the series is then only available
+	// through ReconfigResult.Telemetry.
+	TelemetryEvery time.Duration
 }
 
 // DefaultReconfigConfig mirrors the paper's scenario: 100 G switch links,
@@ -65,6 +77,9 @@ type ReconfigResult struct {
 	// Mean algorithm bandwidth before the background flow, between the
 	// background flow and the reconfiguration, and after it.
 	Before, Degraded, Recovered float64
+	// Telemetry is the sampled metrics series when the run was
+	// instrumented (TelemetryPath or TelemetryEvery set); nil otherwise.
+	Telemetry *telemetry.Series
 }
 
 // RunReconfigShowcase executes the Fig. 7 experiment.
@@ -80,6 +95,11 @@ func RunReconfigShowcase(cfg ReconfigConfig) (ReconfigResult, error) {
 	if cfg.TracePath != "" {
 		trace.Attach(s, trace.NewRecorder(trace.LevelFull, trace.DefaultCapacity))
 	}
+	var reg *telemetry.Registry
+	if cfg.TelemetryPath != "" || cfg.TelemetryEvery > 0 {
+		reg = telemetry.NewRegistry()
+		telemetry.Attach(s, reg)
+	}
 	fabric := netsim.NewFabric(s, cluster.Net)
 	svcCfg := ncclsim.Config(ncclsim.MCCS)
 	if cfg.MaxSlices > 0 {
@@ -90,6 +110,14 @@ func RunReconfigShowcase(cfg ReconfigConfig) (ReconfigResult, error) {
 		svcCfg.Transport.UnserializedSends = true
 	}
 	dep := mccsd.NewDeployment(s, cluster, fabric, svcCfg)
+	var sampler *telemetry.Sampler
+	if reg != nil {
+		every := cfg.TelemetryEvery
+		if every <= 0 {
+			every = telemetry.DefaultInterval
+		}
+		sampler = telemetry.StartSampler(s, reg, every)
+	}
 
 	var gpus []topo.GPUID
 	for _, h := range cluster.Hosts {
@@ -187,8 +215,16 @@ func RunReconfigShowcase(cfg ReconfigConfig) (ReconfigResult, error) {
 			return ReconfigResult{}, err
 		}
 	}
+	if cfg.TelemetryPath != "" {
+		if err := WriteTelemetryFile(cfg.TelemetryPath, sampler); err != nil {
+			return ReconfigResult{}, err
+		}
+	}
 
 	res := ReconfigResult{Series: series}
+	if sampler != nil {
+		res.Telemetry = telemetry.SeriesOf(sampler)
+	}
 	var nb, nd, nr int
 	// The first post-reconfig sample straddles the barrier stall; skip a
 	// short settle window when averaging the recovered phase.

@@ -19,6 +19,7 @@ import (
 	"mccs/internal/proxy"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
+	"mccs/internal/telemetry"
 	"mccs/internal/topo"
 	"mccs/internal/trace"
 	"mccs/internal/transport"
@@ -95,6 +96,11 @@ type Deployment struct {
 	rdv        map[string]*rendezvous
 	destroyed  map[spec.CommID]int
 	priorities map[spec.AppID]int
+
+	// Telemetry audit counters for communicator construction; nil and
+	// no-ops when no registry is attached.
+	telComms *telemetry.Counter
+	telRings *telemetry.Counter
 }
 
 // NewDeployment installs the service on every host of the cluster.
@@ -137,6 +143,11 @@ func NewDeployment(s *sim.Scheduler, cluster *topo.Cluster, fabric *netsim.Fabri
 		trace.Attach(s, rec)
 	}
 	registerTopology(rec, cluster)
+	if reg := telemetry.Of(s); reg != nil {
+		d.instrumentTelemetry(reg)
+		d.telComms = reg.Counter("mccs_service_comms_total", "communicators")
+		d.telRings = reg.Counter("mccs_service_rings_total", "rings")
+	}
 	return d
 }
 
@@ -320,6 +331,9 @@ func (d *Deployment) register(key string, app spec.AppID, nranks, rank int, gpu 
 		}
 		d.comms[info.ID] = comm
 		trace.Of(d.S).NoteComm(int32(info.ID), string(app))
+		telemetry.Of(d.S).NoteComm(int32(info.ID), string(app))
+		d.telComms.Inc()
+		d.telRings.Add(int64(len(info.Strategy.Channels)))
 		r.fut.Set(d.S, commOrErr{comm: comm})
 	}
 	return r.fut, nil

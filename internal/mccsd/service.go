@@ -8,6 +8,7 @@ import (
 	"mccs/internal/proxy"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
+	"mccs/internal/telemetry"
 	"mccs/internal/topo"
 	"mccs/internal/trace"
 )
@@ -30,6 +31,13 @@ func (sv *Service) Frontend(app spec.AppID) *Frontend {
 	f, ok := sv.frontends[app]
 	if !ok {
 		f = &Frontend{sv: sv, app: app}
+		if reg := telemetry.Of(sv.dep.S); reg != nil {
+			tenant := telemetry.L("tenant", string(app))
+			host := telemetry.L("host", sv.dep.Cluster.Hosts[sv.host].Name)
+			f.telCmds = reg.Counter("mccs_frontend_cmds_total", "commands", tenant, host)
+			f.telInflight = reg.Gauge("mccs_frontend_inflight", "commands", tenant, host)
+			f.telRTT = reg.Histogram("mccs_frontend_cmd_rtt_seconds", "seconds", nil, tenant, host)
+		}
 		sv.frontends[app] = f
 	}
 	return f
@@ -41,6 +49,13 @@ func (sv *Service) Frontend(app spec.AppID) *Frontend {
 type Frontend struct {
 	sv  *Service
 	app spec.AppID
+
+	// Telemetry handles for the command queue this frontend models:
+	// commands issued, commands in flight (queue depth), and the
+	// tenant-observed round-trip latency. Nil (no-op) without a registry.
+	telCmds     *telemetry.Counter
+	telInflight *telemetry.Gauge
+	telRTT      *telemetry.Histogram
 }
 
 // App returns the owning application.
@@ -228,6 +243,8 @@ func (c *Comm) issue(p *sim.Proc, op collective.Op, root int, count int64, send,
 	}
 
 	issued := s.Now()
+	c.f.telCmds.Inc()
+	c.f.telInflight.Add(1)
 	h := &OpHandle{done: sim.NewFuture[OpStats]()}
 	outBytes := count * 4
 	if op == collective.AllGather {
@@ -242,6 +259,8 @@ func (c *Comm) issue(p *sim.Proc, op collective.Op, root int, count int64, send,
 			s.After(d.cfg.CompletionLatency, func() {
 				fire()
 				h.done.Set(s, OpStats{Op: op, Issued: issued, Done: s.Now(), Bytes: outBytes})
+				c.f.telInflight.Add(-1)
+				c.f.telRTT.Observe(s.Now().Sub(issued).Seconds())
 				// The cmd span measures the full shim round-trip the
 				// tenant observes: command-queue delivery, execution,
 				// and the completion notification path (the paper's
@@ -333,6 +352,8 @@ func (c *Comm) issueP2P(send bool, peer int, count int64, buf *gpusim.Buffer, st
 	}
 
 	issued := s.Now()
+	c.f.telCmds.Inc()
+	c.f.telInflight.Add(1)
 	h := &OpHandle{done: sim.NewFuture[OpStats]()}
 	req := &proxy.P2PRequest{
 		Peer: peer, Send: send, Count: count, Buf: buf,
@@ -341,6 +362,8 @@ func (c *Comm) issueP2P(send bool, peer int, count int64, buf *gpusim.Buffer, st
 			s.After(d.cfg.CompletionLatency, func() {
 				fire()
 				h.done.Set(s, OpStats{Issued: issued, Done: s.Now(), Bytes: count * 4})
+				c.f.telInflight.Add(-1)
+				c.f.telRTT.Observe(s.Now().Sub(issued).Seconds())
 			})
 		},
 	}

@@ -11,11 +11,11 @@ import (
 
 // Summary describes a sample of measurements.
 type Summary struct {
-	N            int
-	Mean         float64
-	Min, Max     float64
-	P5, P50, P95 float64
-	StdDev       float64
+	N                 int
+	Mean              float64
+	Min, Max          float64
+	P5, P50, P95, P99 float64
+	StdDev            float64
 }
 
 // Summarize computes a Summary. Non-finite values (NaN, ±Inf) are
@@ -49,8 +49,21 @@ func Summarize(vals []float64) Summary {
 		P5:     Percentile(s, 0.05),
 		P50:    Percentile(s, 0.50),
 		P95:    Percentile(s, 0.95),
+		P99:    Percentile(s, 0.99),
 		StdDev: math.Sqrt(sq / float64(len(s))),
 	}
+}
+
+// String renders the summary the way the evaluation tables report a
+// cell: mean with the tail percentiles that bound it.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean %g [p5 %g, p50 %g, p95 %g, p99 %g] n=%d", s.Mean, s.P5, s.P50, s.P95, s.P99, s.N)
+}
+
+// GBpsRow formats the summary's mean and tail percentiles as GB/s
+// columns (the unit the bandwidth tables print).
+func (s Summary) GBpsRow() string {
+	return fmt.Sprintf("%6.2f [%5.2f, %5.2f, %5.2f]", s.Mean/1e9, s.P5/1e9, s.P95/1e9, s.P99/1e9)
 }
 
 // Percentile returns the p-quantile (0 <= p <= 1) of a sorted sample using

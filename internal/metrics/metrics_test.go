@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -131,13 +132,48 @@ func TestQuickPercentileReference(t *testing.T) {
 func TestSummarizeDegenerate(t *testing.T) {
 	one := Summarize([]float64{42})
 	if one.N != 1 || one.Mean != 42 || one.Min != 42 || one.Max != 42 ||
-		one.P5 != 42 || one.P50 != 42 || one.P95 != 42 || one.StdDev != 0 {
+		one.P5 != 42 || one.P50 != 42 || one.P95 != 42 || one.P99 != 42 || one.StdDev != 0 {
 		t.Errorf("N=1 summary = %+v", one)
 	}
 	eq := Summarize([]float64{3, 3, 3, 3, 3, 3, 3})
 	if eq.N != 7 || eq.Mean != 3 || eq.Min != 3 || eq.Max != 3 ||
-		eq.P5 != 3 || eq.P50 != 3 || eq.P95 != 3 || eq.StdDev != 0 {
+		eq.P5 != 3 || eq.P50 != 3 || eq.P95 != 3 || eq.P99 != 3 || eq.StdDev != 0 {
 		t.Errorf("all-equal summary = %+v", eq)
+	}
+}
+
+// P99 sits where linear interpolation puts it: for 101 equally spaced
+// values 0..100 it lands exactly on 99, and for a heavy-tailed sample it
+// exceeds P95.
+func TestP99(t *testing.T) {
+	vals := make([]float64, 101)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := Summarize(vals)
+	if s.P99 != 99 {
+		t.Errorf("P99 of 0..100 = %g, want 99", s.P99)
+	}
+	tail := append(make([]float64, 99), 1000, 2000) // 99 zeros + 2 outliers
+	ts := Summarize(tail)
+	if ts.P99 <= ts.P95 {
+		t.Errorf("heavy tail: P99 %g <= P95 %g", ts.P99, ts.P95)
+	}
+}
+
+func TestSummaryFormatting(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if got := s.String(); got == "" || got != s.String() {
+		t.Errorf("String unstable: %q", got)
+	}
+	for _, want := range []string{"p99", "n=4"} {
+		if !strings.Contains(s.String(), want) {
+			t.Errorf("String %q missing %q", s.String(), want)
+		}
+	}
+	g := Summary{Mean: 2.5e9, P5: 1e9, P95: 4e9, P99: 4.5e9}
+	if got := g.GBpsRow(); !strings.Contains(got, "2.50") || !strings.Contains(got, "4.50") {
+		t.Errorf("GBpsRow = %q", got)
 	}
 }
 
@@ -193,7 +229,8 @@ func TestQuickSummaryInvariants(t *testing.T) {
 		if s1 != s2 {
 			return false
 		}
-		return s1.Min <= s1.P5 && s1.P5 <= s1.P50 && s1.P50 <= s1.P95 && s1.P95 <= s1.Max
+		return s1.Min <= s1.P5 && s1.P5 <= s1.P50 && s1.P50 <= s1.P95 &&
+			s1.P95 <= s1.P99 && s1.P99 <= s1.Max
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mccs/internal/sim"
+	"mccs/internal/telemetry"
 	"mccs/internal/trace"
 )
 
@@ -176,6 +177,13 @@ type Fabric struct {
 	// same-instant flow starts increments it exactly once.
 	Recomputes int
 
+	// Telemetry handles, cached at construction; nil (and therefore
+	// no-ops) when no registry is attached to the scheduler.
+	telStarted    *telemetry.Counter
+	telCompleted  *telemetry.Counter
+	telCanceled   *telemetry.Counter
+	telRecomputes *telemetry.Counter
+
 	// Allocator scratch, owned by the fabric and reused across
 	// recomputes so the steady-state hot path allocates nothing.
 	// Per-slot buffers (indexed by Flow.slot):
@@ -207,6 +215,11 @@ func NewFabric(s *sim.Scheduler, net *Network) *Fabric {
 		nActive:      make([]int, net.NumLinks()),
 		linkMark:     make([]bool, net.NumLinks()),
 	}
+	reg := telemetry.Of(s)
+	fb.telStarted = reg.Counter("mccs_fabric_flows_started_total", "flows")
+	fb.telCompleted = reg.Counter("mccs_fabric_flows_completed_total", "flows")
+	fb.telCanceled = reg.Counter("mccs_fabric_flows_canceled_total", "flows")
+	fb.telRecomputes = reg.Counter("mccs_fabric_recomputes_total", "allocations")
 	s.OnInstantEnd(fb.flush)
 	return fb
 }
@@ -254,14 +267,15 @@ func (fb *Fabric) StartFlow(o FlowOpts) *Flow {
 	fb.nextFlowID++
 	fl := &Flow{
 		ID: fb.nextFlowID, Src: o.Src, Dst: o.Dst, Route: route, Label: o.Label,
-		Tag:   o.Tag,
-		fb:    fb, slot: len(fb.flows),
+		Tag: o.Tag,
+		fb:  fb, slot: len(fb.flows),
 		bytes: bytes, maxRate: maxRate, priority: priority, external: o.External,
 		group:  o.Group,
 		doneEv: &sim.Event{},
 		start:  fb.s.Now(),
 	}
 	fb.flows = append(fb.flows, fl)
+	fb.telStarted.Inc()
 	if fl.priority {
 		fb.nPriority++
 	}
@@ -284,6 +298,7 @@ func (fb *Fabric) CancelFlow(fl *Flow) {
 	}
 	fb.progress()
 	fl.canceled = true
+	fb.telCanceled.Inc()
 	fb.emitFlow(fl, trace.Of(fb.s))
 	fb.remove(fl)
 	fb.dirty = true
@@ -435,6 +450,33 @@ func (fb *Fabric) LinkUtilization(l LinkID) float64 {
 // ActiveFlows returns the number of in-flight flows.
 func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
 
+// FlowView is a read-only snapshot of one active flow for monitoring
+// (the telemetry collector). Route aliases live fabric state: visitors
+// must not retain or mutate it.
+type FlowView struct {
+	ID         int
+	Comm       int32 // collective tag communicator; 0 for untagged
+	External   bool
+	Priority   bool
+	Rate       float64
+	Bottleneck LinkID // committed water-fill bottleneck; -1 if cap/demand-limited
+	Route      []LinkID
+}
+
+// EachFlow visits the active flows in ascending flow-ID order with
+// settled rates: it forces the coalesced flush first, so the committed
+// bottleneck scratch is valid for every visited flow.
+func (fb *Fabric) EachFlow(fn func(FlowView)) {
+	fb.flush()
+	for _, fl := range fb.flows {
+		fn(FlowView{
+			ID: fl.ID, Comm: fl.Tag.Comm,
+			External: fl.external, Priority: fl.priority,
+			Rate: fl.rate, Bottleneck: fb.bott[fl.slot], Route: fl.Route,
+		})
+	}
+}
+
 // ManagedFlows returns the number of in-flight flows that are NOT marked
 // External — the traffic the collective service itself put on the fabric.
 // A drained simulation with managed flows remaining has leaked transfers
@@ -486,6 +528,7 @@ func (fb *Fabric) flush() {
 // completion timer. Callers must progress() first.
 func (fb *Fabric) recompute() {
 	fb.Recomputes++
+	fb.telRecomputes.Inc()
 	fb.allocate()
 	fb.schedule()
 }
@@ -859,6 +902,7 @@ func (fb *Fabric) onTimer() {
 	for _, fl := range completed {
 		fl.done = fl.bytes
 		fl.finished = true
+		fb.telCompleted.Inc()
 		fb.emitFlow(fl, rec)
 		fb.remove(fl)
 	}

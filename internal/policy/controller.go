@@ -6,6 +6,7 @@ import (
 
 	"mccs/internal/mccsd"
 	"mccs/internal/spec"
+	"mccs/internal/telemetry"
 )
 
 // Controller is the external centralized manager of paper §4.3: it
@@ -21,15 +22,31 @@ type Controller struct {
 	PrioThreshold int
 	// TSGuard pads TS busy windows against jitter.
 	TSGuard time.Duration
+
+	// Policy-decision audit counters; nil-safe when no registry is
+	// attached to the deployment's scheduler.
+	telFFA        *telemetry.Counter // FFA assignments pushed
+	telPFA        *telemetry.Counter // PFA assignments pushed
+	telRoutes     *telemetry.Counter // per-comm route pins pushed
+	telTSInstalls *telemetry.Counter // TS schedules installed on victims
+	telTSWindows  *telemetry.Counter // busy windows across installed schedules
+	telTSClears   *telemetry.Counter // TS schedules cleared
 }
 
 // NewController attaches a controller to a deployment.
 func NewController(dep *mccsd.Deployment) *Controller {
+	reg := telemetry.Of(dep.S)
 	return &Controller{
 		dep:            dep,
 		ReservedRoutes: []int{0},
 		PrioThreshold:  1,
 		TSGuard:        200 * time.Microsecond,
+		telFFA:         reg.Counter("mccs_policy_applies_total", "applies", telemetry.L("policy", "ffa")),
+		telPFA:         reg.Counter("mccs_policy_applies_total", "applies", telemetry.L("policy", "pfa")),
+		telRoutes:      reg.Counter("mccs_policy_routes_pinned_total", "route-sets"),
+		telTSInstalls:  reg.Counter("mccs_policy_ts_installs_total", "schedules"),
+		telTSWindows:   reg.Counter("mccs_policy_ts_windows_total", "windows"),
+		telTSClears:    reg.Counter("mccs_policy_ts_clears_total", "schedules"),
 	}
 }
 
@@ -38,6 +55,7 @@ func NewController(dep *mccsd.Deployment) *Controller {
 func (c *Controller) ApplyFFA() error {
 	view := c.dep.View()
 	a := FFA(c.dep.Cluster, view)
+	c.telFFA.Inc()
 	return c.push(a)
 }
 
@@ -45,6 +63,7 @@ func (c *Controller) ApplyFFA() error {
 func (c *Controller) ApplyPFA() error {
 	view := c.dep.View()
 	a := PFA(c.dep.Cluster, view, c.ReservedRoutes, c.PrioThreshold)
+	c.telPFA.Inc()
 	return c.push(a)
 }
 
@@ -53,6 +72,7 @@ func (c *Controller) push(a Assignment) error {
 		if err := c.dep.UpdateRoutes(comm, routes); err != nil {
 			return fmt.Errorf("policy: pushing routes to comm %d: %w", comm, err)
 		}
+		c.telRoutes.Inc()
 	}
 	return nil
 }
@@ -95,6 +115,8 @@ func (c *Controller) ApplyTSFor(prioritized spec.CommID, rank int, victims []spe
 		if err := c.dep.SetTrafficSchedule(app, sched); err != nil {
 			return err
 		}
+		c.telTSInstalls.Inc()
+		c.telTSWindows.Add(int64(len(sched.Slots)))
 	}
 	return nil
 }
@@ -103,5 +125,6 @@ func (c *Controller) ApplyTSFor(prioritized spec.CommID, rank int, victims []spe
 func (c *Controller) ClearTS() {
 	for _, ci := range c.dep.View() {
 		c.dep.ClearTrafficSchedule(ci.App)
+		c.telTSClears.Inc()
 	}
 }

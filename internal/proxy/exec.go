@@ -54,6 +54,7 @@ func (r *Runner) execute(p *sim.Proc, op *OpRequest) {
 	}
 
 	res := OpResult{Seq: op.seq, Op: op.Op, Start: start, End: p.Now(), Bytes: outBytes}
+	r.comm.telOps.Inc()
 	if op.CompleteFire != nil {
 		op.CompleteFire()
 	}
@@ -164,6 +165,7 @@ func (r *Runner) runTree(p *sim.Proc, op *OpRequest, cs *connSet) {
 			// receiver explicitly.
 			continue
 		}
+		r.comm.telSteps.Inc()
 		tr := round.T
 		if tr.Send {
 			conn := cs.tree[[2]int{r.rank, tr.Peer}]
@@ -253,6 +255,7 @@ func (r *Runner) runChannel(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
 	traceSteps := rec.Enabled(trace.KindStep)
 	backed := op.RecvBuf != nil && op.RecvBuf.Backed()
 	for si, st := range steps {
+		r.comm.telSteps.Inc()
 		// The tag rides every message of this step onto its fabric flow,
 		// joining network transfers back to (comm, seq, step) in the
 		// trace. Building it is stack-only, so it costs nothing when

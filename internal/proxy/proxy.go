@@ -18,6 +18,7 @@ import (
 	"mccs/internal/netsim"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
+	"mccs/internal/telemetry"
 	"mccs/internal/topo"
 	"mccs/internal/trace"
 	"mccs/internal/transport"
@@ -150,6 +151,14 @@ type Comm struct {
 	// communicator was built (possibly nil — every emit is nil-safe).
 	rec *trace.Recorder
 
+	// Telemetry handles (tenant-labeled), cached at construction; nil
+	// and no-ops when no registry is attached.
+	telOps           *telemetry.Counter
+	telSteps         *telemetry.Counter
+	telReconfigs     *telemetry.Counter
+	telBarrierPhases *telemetry.Counter
+	telReconfigDur   *telemetry.Histogram
+
 	Runners []*Runner
 
 	// conn generations: gen g is built lazily by the first runner to
@@ -193,6 +202,13 @@ func NewComm(
 		rec:  trace.Of(s),
 		gens: make(map[int]*connSet),
 	}
+	reg := telemetry.Of(s)
+	tenant := telemetry.L("tenant", string(info.App))
+	c.telOps = reg.Counter("mccs_proxy_ops_total", "ops", tenant)
+	c.telSteps = reg.Counter("mccs_proxy_steps_total", "steps", tenant)
+	c.telReconfigs = reg.Counter("mccs_proxy_reconfigs_total", "reconfigurations", tenant)
+	c.telBarrierPhases = reg.Counter("mccs_proxy_barrier_phases_total", "phases", tenant)
+	c.telReconfigDur = reg.Histogram("mccs_proxy_reconfig_seconds", "seconds", nil, tenant)
 	if _, err := c.connsFor(0, info.Strategy); err != nil {
 		return nil, err
 	}
@@ -515,8 +531,13 @@ func (c *Comm) Destroy() {
 	}
 }
 
-// emitPhase records one reconfiguration barrier phase as a span.
+// emitPhase counts one completed reconfiguration barrier phase and
+// records it as a span when barrier tracing is on.
 func (r *Runner) emitPhase(p *sim.Proc, code int32, start sim.Time) {
+	r.comm.telBarrierPhases.Inc()
+	if !r.comm.rec.Enabled(trace.KindBarrier) {
+		return
+	}
 	r.comm.rec.Emit(trace.Span{
 		Kind: trace.KindBarrier, Op: code,
 		Start: start, End: p.Now(),
@@ -534,7 +555,7 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 	if err := req.Strategy.Validate(r.comm.Info.NumRanks()); err != nil {
 		panic(fmt.Sprintf("proxy: reconfigure with bad strategy: %v", err))
 	}
-	traceOn := r.comm.rec.Enabled(trace.KindBarrier)
+	reconfigStart := p.Now()
 	if !r.comm.cfg.UnsafeSkipSeqBarrier {
 		// 1. Exchange last-launched sequence numbers on the control ring.
 		//    This stalls new launches locally (we are not reading the
@@ -543,9 +564,7 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 		t0 := p.Now()
 		vals := r.comm.ctrl.AllGather(p, r.rank, int64(r.seq))
 		maxSeq := uint64(control.Max(vals))
-		if traceOn {
-			r.emitPhase(p, trace.PhaseSeqExchange, t0)
-		}
+		r.emitPhase(p, trace.PhaseSeqExchange, t0)
 
 		// 2. Drain-launch: collectives that peers already launched must
 		//    run under the old configuration. The frontend will deliver
@@ -564,9 +583,7 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 				return
 			}
 		}
-		if traceOn {
-			r.emitPhase(p, trace.PhaseDrain, t0)
-		}
+		r.emitPhase(p, trace.PhaseDrain, t0)
 	}
 
 	// 3. Completion barrier: wait for this rank's execution pipeline to
@@ -603,9 +620,7 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 	if !r.comm.cfg.UnsafeSkipSeqBarrier {
 		r.comm.ctrl.AllGather(p, r.rank, int64(r.seq))
 	}
-	if traceOn {
-		r.emitPhase(p, trace.PhaseCompletion, barrierStart)
-	}
+	r.emitPhase(p, trace.PhaseCompletion, barrierStart)
 
 	// 4. Tear down this rank's send connections and switch to the next
 	//    generation, rebuilding connections under the new strategy.
@@ -624,18 +639,16 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 		}
 	}
 	p.Sleep(r.comm.cfg.ConnTeardown)
-	if traceOn {
-		r.emitPhase(p, trace.PhaseTeardown, tearStart)
-	}
+	r.emitPhase(p, trace.PhaseTeardown, tearStart)
 	rebuildStart := p.Now()
 	r.gen++
 	if _, err := r.comm.connsFor(r.gen, req.Strategy); err != nil {
 		panic(fmt.Sprintf("proxy: rebuilding connections: %v", err))
 	}
 	p.Sleep(r.comm.cfg.ConnSetup)
-	if traceOn {
-		r.emitPhase(p, trace.PhaseRebuild, rebuildStart)
-	}
+	r.emitPhase(p, trace.PhaseRebuild, rebuildStart)
+	r.comm.telReconfigs.Inc()
+	r.comm.telReconfigDur.Observe(p.Now().Sub(reconfigStart).Seconds())
 	// Replay collectives that arrived during the drain under the new
 	// configuration, in arrival order.
 	for _, op := range stashed {

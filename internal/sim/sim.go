@@ -166,6 +166,12 @@ type Scheduler struct {
 	// package.
 	traceSink any
 
+	// metricsSink is the same attachment pattern for the live telemetry
+	// registry (internal/telemetry): engines cache metric handles from it
+	// at construction time, so it must be installed before the layers are
+	// built.
+	metricsSink any
+
 	live    int // processes not yet Done
 	parked  map[int]*Proc
 	current *Proc
@@ -232,6 +238,14 @@ func (s *Scheduler) SetTraceSink(v any) { s.traceSink = v }
 
 // TraceSink returns the value installed by SetTraceSink, or nil.
 func (s *Scheduler) TraceSink() any { return s.traceSink }
+
+// SetMetricsSink attaches an opaque value (in practice a
+// *telemetry.Registry) that instrumented layers retrieve via
+// MetricsSink. The scheduler itself never touches it.
+func (s *Scheduler) SetMetricsSink(v any) { s.metricsSink = v }
+
+// MetricsSink returns the value installed by SetMetricsSink, or nil.
+func (s *Scheduler) MetricsSink() any { return s.metricsSink }
 
 // Go creates a process named name executing fn and schedules it to start at
 // the current virtual time.

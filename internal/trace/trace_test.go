@@ -244,8 +244,8 @@ func TestEmitDoesNotAllocate(t *testing.T) {
 		{"nil", nil, KindOp},
 		{"off", NewRecorder(LevelOff, 16), KindOp},
 		{"ops-filtered", NewRecorder(LevelOps, 16), KindFlow},
-		{"ops-kept", NewRecorder(LevelOps, 1 << 16), KindOp},
-		{"full-kept", NewRecorder(LevelFull, 1 << 16), KindStep},
+		{"ops-kept", NewRecorder(LevelOps, 1<<16), KindOp},
+		{"full-kept", NewRecorder(LevelFull, 1<<16), KindStep},
 	}
 	for _, tc := range cases {
 		tc := tc

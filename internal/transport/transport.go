@@ -17,6 +17,7 @@ import (
 	"mccs/internal/netsim"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
+	"mccs/internal/telemetry"
 	"mccs/internal/topo"
 	"mccs/internal/trace"
 )
@@ -80,6 +81,16 @@ type Engine struct {
 	// stats
 	messagesSent int64
 	bytesSent    int64
+
+	// Telemetry handles: per-host counters cached at construction,
+	// per-tenant transmit counters created on first send by that tenant
+	// (setup-time allocation; the send path itself only does nil-safe
+	// handle updates).
+	telMessages *telemetry.Counter
+	telOOO      *telemetry.Counter
+	telReg      *telemetry.Registry
+	telHostName string
+	telTxByApp  map[spec.AppID]*telemetry.Counter
 }
 
 // NewEngine creates the transport engine for one host.
@@ -87,10 +98,35 @@ func NewEngine(s *sim.Scheduler, cluster *topo.Cluster, fabric *netsim.Fabric, h
 	if cfg.IntraBps <= 0 {
 		cfg.IntraBps = cluster.IntraHostBps
 	}
-	return &Engine{
+	e := &Engine{
 		s: s, cluster: cluster, fabric: fabric, cfg: cfg, host: host,
 		gates: make(map[spec.AppID]*Gate),
 	}
+	if reg := telemetry.Of(s); reg != nil {
+		e.telReg = reg
+		e.telHostName = cluster.Hosts[host].Name
+		e.telMessages = reg.Counter("mccs_transport_messages_total", "messages",
+			telemetry.L("host", e.telHostName))
+		e.telOOO = reg.Counter("mccs_transport_ooo_deliveries_total", "messages",
+			telemetry.L("host", e.telHostName))
+		e.telTxByApp = make(map[spec.AppID]*telemetry.Counter)
+	}
+	return e
+}
+
+// txCounter returns the per-tenant transmit-bytes counter for app,
+// creating it on first use. Nil when telemetry is off.
+func (e *Engine) txCounter(app spec.AppID) *telemetry.Counter {
+	if e.telReg == nil {
+		return nil
+	}
+	c, ok := e.telTxByApp[app]
+	if !ok {
+		c = e.telReg.Counter("mccs_transport_tx_bytes_total", "bytes",
+			telemetry.L("host", e.telHostName), telemetry.L("tenant", string(app)))
+		e.telTxByApp[app] = c
+	}
+	return c
 }
 
 // Gate returns the traffic gate for an app, creating it on first use.
@@ -148,6 +184,10 @@ type Conn struct {
 	// engine depends on.
 	sendQ    []pendingSend
 	inFlight bool
+
+	// telTx is the per-tenant transmit counter, resolved lazily on the
+	// first send (nil, and a no-op, when telemetry is off).
+	telTx *telemetry.Counter
 }
 
 type pendingSend struct {
@@ -263,6 +303,11 @@ func (c *Conn) SendTagged(bytes int64, data []float32, group *netsim.Group, tag 
 	c.sendSeq++
 	c.eng.messagesSent++
 	c.eng.bytesSent += bytes
+	c.eng.telMessages.Inc()
+	if c.telTx == nil && c.eng.telReg != nil {
+		c.telTx = c.eng.txCounter(c.app)
+	}
+	c.telTx.Add(bytes)
 	c.sendQ = append(c.sendQ, pendingSend{bytes: bytes, data: data, seq: c.sendSeq, group: group, tag: tag})
 	if c.eng.cfg.UnserializedSends {
 		// Ablation mode: transmit everything concurrently.
@@ -379,6 +424,10 @@ func (c *Conn) Recv(p *sim.Proc) Delivery {
 			c.stash = make(map[uint64]Delivery)
 		}
 		c.stash[d.Seq] = d
+		// A stashed delivery is the simulation's analogue of an
+		// out-of-order arrival the receiver had to re-sequence — the
+		// "retries" signal of a real transport.
+		c.eng.telOOO.Inc()
 	}
 }
 
