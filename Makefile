@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt test vet race check chaos bench bench-json trace telemetry
+.PHONY: all build fmt test vet race race-hot check chaos bench bench-json trace telemetry
 
 all: check
 
@@ -22,6 +22,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-hot doubles down on the packages with the most schedule-sensitive
+# surface — the collective schedule generators, the proxy engine, and
+# the strategy autotuner — running them twice under the detector.
+race-hot:
+	$(GO) test -race -count=2 ./internal/collective/ ./internal/proxy/ ./internal/tuner/
 
 # check is the CI gate: everything must build, vet clean, and pass the
 # full test suite twice — once plain, once under the race detector.

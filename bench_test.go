@@ -18,6 +18,7 @@ import (
 	"mccs/internal/sim"
 	"mccs/internal/spec"
 	"mccs/internal/topo"
+	"mccs/internal/tuner"
 	"mccs/internal/workload"
 )
 
@@ -291,6 +292,92 @@ func BenchmarkAblationChannels(b *testing.B) {
 					System: ncclsim.MCCS, Op: collective.AllReduce, Bytes: 128 << 20,
 					NumGPUs: 8, Warmup: 1, Iters: 3,
 				}, ch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.AlgBW.Mean/1e9, "GB/s")
+			}
+		})
+	}
+}
+
+// BenchmarkTuner measures the decision layer itself: a full autotuner
+// search over the Fig. 6 communicator — candidate generation, α-β model
+// scoring of every candidate, ranked sort. This is control-plane cost,
+// so it reports pure wall-clock per search plus the space size.
+func BenchmarkTuner(b *testing.B) {
+	b.Run("tuner-search", func(b *testing.B) {
+		env, err := harness.NewTestbedEnv(ncclsim.MCCS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gpus, err := harness.SingleAppGPUs(env.Cluster, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		info := &spec.CommInfo{ID: 1, App: "bench"}
+		for i, g := range gpus {
+			info.Ranks = append(info.Ranks, spec.RankInfo{
+				Rank: i, GPU: g, Host: env.Cluster.HostOfGPU(g), NIC: env.Cluster.NICOfGPU(g),
+			})
+		}
+		ctrl := policy.NewController(env.Deployment)
+		const bytes = 64 << 20
+		opts := policy.AutotuneOptions{Op: collective.AllReduce, Bytes: bytes}
+		m := ctrl.TuneModel(true)
+		sp := ctrl.TuneSpace(info, opts)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cands := tuner.Candidates(info, sp, bytes)
+			d, err := m.Search(info, cands, collective.AllReduce, bytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(len(d.Scored)), "candidates")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAlgorithms compares the two dense AllReduce schedules
+// end-to-end at a latency-bound size: halving-doubling's 2·log₂(n)
+// rounds against the ring's 2(n-1) steps on the same locality order.
+func BenchmarkAblationAlgorithms(b *testing.B) {
+	cases := []struct {
+		name string
+		algo spec.Algorithm
+	}{
+		{"allreduce-ring", spec.AlgoRing},
+		{"allreduce-halvingdoubling", spec.AlgoHD},
+	}
+	env, err := harness.NewTestbedEnv(ncclsim.MCCS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gpus, err := harness.SingleAppGPUs(env.Cluster, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ranks []spec.RankInfo
+	for i, g := range gpus {
+		ranks = append(ranks, spec.RankInfo{
+			Rank: i, GPU: g, Host: env.Cluster.HostOfGPU(g), NIC: env.Cluster.NICOfGPU(g),
+		})
+	}
+	order := policy.LocalityRing(env.Cluster, ranks)
+	for _, tc := range cases {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			st := spec.Strategy{
+				Algorithm: tc.algo,
+				Channels:  []spec.ChannelSpec{{Order: order, Route: spec.RouteECMP}},
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunSingleAppWithStrategy(harness.SingleAppConfig{
+					System: ncclsim.MCCS, Op: collective.AllReduce, Bytes: 32 << 10,
+					NumGPUs: 8, Warmup: 1, Iters: 4,
+				}, st)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -25,6 +25,7 @@ func main() {
 	trials := flag.Int("trials", 5, "ECMP-salt trials (variance sampling)")
 	tracePath := flag.String("trace", "", "record the first benchmark cell's first trial as Chrome trace-event JSON here")
 	telemetryPath := flag.String("telemetry", "", "sample the first benchmark cell's first trial and write the metrics series here (JSONL; .prom for Prometheus text)")
+	autotune := flag.Bool("autotune", false, "add an MCCS(auto) column: full MCCS with the strategy autotuner picking each cell's strategy")
 	flag.Parse()
 
 	sizes, err := parseSizes(*sizesFlag)
@@ -59,14 +60,27 @@ func main() {
 			for _, sys := range ncclsim.Systems() {
 				fmt.Printf(" %24s", sys)
 			}
+			if *autotune {
+				fmt.Printf(" %24s", "MCCS(auto)")
+			}
 			fmt.Println()
 			for _, size := range sizes {
 				fmt.Printf("%-8s", metrics.HumanBytes(size))
+				cells := make([]harness.SingleAppConfig, 0, len(ncclsim.Systems())+1)
 				for _, sys := range ncclsim.Systems() {
-					cell := harness.SingleAppConfig{
+					cells = append(cells, harness.SingleAppConfig{
 						System: sys, Op: op, Bytes: size, NumGPUs: nGPU,
 						Warmup: *warmup, Iters: *iters, Trials: *trials,
-					}
+					})
+				}
+				if *autotune {
+					cells = append(cells, harness.SingleAppConfig{
+						System: ncclsim.MCCS, Op: op, Bytes: size, NumGPUs: nGPU,
+						Warmup: *warmup, Iters: *iters, Trials: *trials,
+						Autotune: true,
+					})
+				}
+				for _, cell := range cells {
 					// Only the very first cell is traced: one full-detail
 					// recording is the debugging artifact; tracing every
 					// cell would just overwrite it. Telemetry follows the
@@ -81,7 +95,7 @@ func main() {
 					}
 					res, err := harness.RunSingleApp(cell)
 					if err != nil {
-						log.Fatalf("%v %v %d: %v", sys, op, size, err)
+						log.Fatalf("%v %v %d: %v", cell.System, op, size, err)
 					}
 					s := res.AlgBW
 					fmt.Printf("  %6.2f [%5.2f, %5.2f]", s.Mean/1e9, s.P5/1e9, s.P95/1e9)

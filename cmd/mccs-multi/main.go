@@ -20,6 +20,7 @@ func main() {
 	warmup := flag.Int("warmup", 4, "warmup iterations")
 	trials := flag.Int("trials", 5, "ECMP-salt trials")
 	telemetryPath := flag.String("telemetry", "", "sample the first instrumented run's first trial and write the metrics series here (JSONL; .prom for Prometheus text)")
+	autotune := flag.Bool("autotune", false, "run the strategy autotuner over every communicator before the measured loops (service-mode systems only)")
 	flag.Parse()
 
 	env, err := harness.NewTestbedEnv(ncclsim.MCCS)
@@ -46,6 +47,7 @@ func main() {
 			mcfg := harness.MultiAppConfig{
 				System: sys, Apps: apps, Bytes: *bytes,
 				Warmup: *warmup, Iters: *iters, Trials: *trials,
+				Autotune: *autotune,
 			}
 			// Instrument only the first run that asks for it: one series
 			// is the artifact; later runs would overwrite it.

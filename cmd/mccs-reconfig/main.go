@@ -21,6 +21,7 @@ func main() {
 	tracePath := flag.String("trace", "", "record the run and write Chrome trace-event JSON here")
 	telemetryPath := flag.String("telemetry", "", "sample the metrics registry and write the series here (JSONL; .prom for Prometheus text)")
 	telemetryEvery := flag.Duration("telemetry-every", 0, "telemetry sampling interval (default 100ms)")
+	autotune := flag.Bool("autotune", false, "replace the scripted ring reversal with a strategy-autotuner pass that reads the background flow off the fabric")
 	flag.Parse()
 
 	cfg := harness.DefaultReconfigConfig()
@@ -31,6 +32,7 @@ func main() {
 	cfg.TracePath = *tracePath
 	cfg.TelemetryPath = *telemetryPath
 	cfg.TelemetryEvery = *telemetryEvery
+	cfg.Autotune = *autotune
 	res, err := harness.RunReconfigShowcase(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -49,7 +51,11 @@ func main() {
 	fmt.Printf("  phase averages (algorithm bandwidth):\n")
 	fmt.Printf("    before background flow:     %6.2f GB/s\n", res.Before/1e9)
 	fmt.Printf("    degraded (bg at %6.2fs):   %6.2f GB/s\n", bgStartSec(cfg), res.Degraded/1e9)
-	fmt.Printf("    recovered (reversal %4.1fs): %6.2f GB/s\n", cfg.ReconfigAt.Seconds(), res.Recovered/1e9)
+	how := "reversal"
+	if cfg.Autotune {
+		how = "autotune"
+	}
+	fmt.Printf("    recovered (%s %4.1fs): %6.2f GB/s\n", how, cfg.ReconfigAt.Seconds(), res.Recovered/1e9)
 	if *csv {
 		fmt.Println("t_seconds,algbw_bytes_per_sec")
 		for _, pt := range res.Series {

@@ -87,8 +87,76 @@ func render(w io.Writer, se *telemetry.Series, opt options) {
 		len(se.Samples), time.Duration(se.Interval), first.T.Seconds(), last.T.Seconds())
 
 	renderTenants(w, se, s)
+	renderTuner(w, se, s)
 	renderLinks(w, se, s, opt.topLinks)
 	renderViolations(w, se, opt.topViolations)
+}
+
+// tunerRow is one tenant's autotuner decision: the installed strategy
+// (read off the info-pattern gauge), how many searches ran, and the
+// model's predicted completion time against the first one achieved
+// after the install.
+type tunerRow struct {
+	Tenant    string
+	Strategy  string
+	Searches  float64
+	Predicted float64 // seconds; 0 = not recorded
+	Achieved  float64 // seconds; 0 = not observed
+}
+
+// tunerRows extracts the per-tenant autotuner view from the series; nil
+// when the run never autotuned.
+func tunerRows(se *telemetry.Series, s []telemetry.Sample) []tunerRow {
+	last := s[len(s)-1]
+	byTenant := make(map[string]*tunerRow)
+	row := func(tenant string) *tunerRow {
+		r := byTenant[tenant]
+		if r == nil {
+			r = &tunerRow{Tenant: tenant}
+			byTenant[tenant] = r
+		}
+		return r
+	}
+	for _, c := range se.FindCols("mccs_tuner_strategy_info", telemetry.L("tenant", "")) {
+		// Retired strategies stay in the series at value 0; the current
+		// one is the single column still at 1.
+		if se.Value(last, c) != 1 {
+			continue
+		}
+		row(se.LabelValue(c, "tenant")).Strategy = se.LabelValue(c, "strategy")
+	}
+	for _, c := range se.FindCols("mccs_tuner_searches_total", telemetry.L("tenant", "")) {
+		row(se.LabelValue(c, "tenant")).Searches = se.Value(last, c)
+	}
+	for _, c := range se.FindCols("mccs_tuner_predicted_seconds", telemetry.L("tenant", "")) {
+		row(se.LabelValue(c, "tenant")).Predicted = se.Value(last, c)
+	}
+	for _, c := range se.FindCols("mccs_tuner_achieved_seconds", telemetry.L("tenant", "")) {
+		row(se.LabelValue(c, "tenant")).Achieved = se.Value(last, c)
+	}
+	rows := make([]tunerRow, 0, len(byTenant))
+	for _, r := range byTenant {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Tenant < rows[j].Tenant })
+	return rows
+}
+
+func renderTuner(w io.Writer, se *telemetry.Series, s []telemetry.Sample) {
+	rows := tunerRows(se, s)
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-12s %-28s %9s %13s %13s\n",
+		"TUNER", "STRATEGY", "SEARCHES", "PREDICTED ms", "ACHIEVED ms")
+	for _, r := range rows {
+		strat := r.Strategy
+		if strat == "" {
+			strat = "-"
+		}
+		fmt.Fprintf(w, "%-12s %-28s %9.0f %13.3f %13.3f\n",
+			r.Tenant, strat, r.Searches, r.Predicted*1e3, r.Achieved*1e3)
+	}
 }
 
 // tenantRow aggregates one tenant across hosts and links.

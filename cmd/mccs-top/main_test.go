@@ -28,6 +28,18 @@ func synthetic() *telemetry.Series {
 			Labels: []telemetry.Label{telemetry.L("link", "l1")}},
 		{Name: "mccs_fabric_link_external_bps", Unit: "bytes/s", Kind: "gauge",
 			Labels: []telemetry.Label{telemetry.L("link", "l0")}},
+		// Tenant "a" autotuned twice: the first strategy was retired
+		// (gauge back to 0), the second is current.
+		{Name: "mccs_tuner_strategy_info", Unit: "info", Kind: "gauge",
+			Labels: []telemetry.Label{telemetry.L("strategy", "ring/rank/ch1/ecmp"), telemetry.L("tenant", "a")}},
+		{Name: "mccs_tuner_strategy_info", Unit: "info", Kind: "gauge",
+			Labels: []telemetry.Label{telemetry.L("strategy", "ring/locality/ch2/pin"), telemetry.L("tenant", "a")}},
+		{Name: "mccs_tuner_searches_total", Unit: "searches", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("tenant", "a")}},
+		{Name: "mccs_tuner_predicted_seconds", Unit: "seconds", Kind: "gauge",
+			Labels: []telemetry.Label{telemetry.L("tenant", "a")}},
+		{Name: "mccs_tuner_achieved_seconds", Unit: "seconds", Kind: "gauge",
+			Labels: []telemetry.Label{telemetry.L("tenant", "a")}},
 	}
 	return &telemetry.Series{
 		Interval: time.Second,
@@ -37,9 +49,9 @@ func synthetic() *telemetry.Series {
 			{ID: 1, Name: "l1", CapBps: 12.5e9},
 		},
 		Samples: []telemetry.Sample{
-			{T: 0, V: []float64{0, 0, 0, 0.9, 0.2, 5e9}},
-			{T: sec, V: []float64{2e9, 1e9, 10, 0.9, 0.2, 5e9}},
-			{T: 2 * sec, V: []float64{4e9, 2e9, 20, 0.9, 0.2, 5e9}},
+			{T: 0, V: []float64{0, 0, 0, 0.9, 0.2, 5e9, 1, 0, 1, 0.010, 0}},
+			{T: sec, V: []float64{2e9, 1e9, 10, 0.9, 0.2, 5e9, 0, 1, 2, 0.012, 0.013}},
+			{T: 2 * sec, V: []float64{4e9, 2e9, 20, 0.9, 0.2, 5e9, 0, 1, 2, 0.012, 0.013}},
 		},
 		Violations: []telemetry.Violation{
 			{T: sec, Window: time.Second, Tenant: "b", Link: 0, LinkName: "l0",
@@ -69,6 +81,21 @@ func TestTenantRows(t *testing.T) {
 	}
 }
 
+func TestTunerRows(t *testing.T) {
+	se := synthetic()
+	rows := tunerRows(se, se.Samples)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.Tenant != "a" || r.Strategy != "ring/locality/ch2/pin" {
+		t.Errorf("current strategy = %+v, want the non-retired info gauge", r)
+	}
+	if r.Searches != 2 || r.Predicted != 0.012 || r.Achieved != 0.013 {
+		t.Errorf("searches/predicted/achieved = %g/%g/%g", r.Searches, r.Predicted, r.Achieved)
+	}
+}
+
 func TestLinkRows(t *testing.T) {
 	se := synthetic()
 	rows := linkRows(se, se.Samples)
@@ -92,6 +119,7 @@ func TestRender(t *testing.T) {
 	out := b.String()
 	for _, want := range []string{
 		"3 samples", "TENANT", "GOODPUT",
+		"TUNER", "ring/locality/ch2/pin",
 		"BUSIEST LINKS", "l0", "l1",
 		"SLO VIOLATIONS: 1", "6.25", // entitled GB/s
 	} {

@@ -80,6 +80,8 @@ func dump(rec trace.Recording) {
 			fmt.Printf(" nic%d>nic%d", sp.Src, sp.Dst)
 		case trace.KindKernel:
 			fmt.Printf(" gpu=%d stream=%d", sp.GPU, sp.Flow)
+		case trace.KindTuner:
+			fmt.Printf(" predicted=%v", time.Duration(sp.Flow))
 		}
 		if sp.Bytes > 0 {
 			fmt.Printf(" bytes=%d", sp.Bytes)

@@ -9,8 +9,9 @@
 // on top: same-instant schedule permutation (sim.Picker), link flaps and
 // bandwidth degradation (netsim), straggler GPUs (gpusim), delayed
 // transport sends, external congestion with the policy watcher reacting,
-// and mid-collective reconfiguration storms through the Fig. 4
-// sequence-number protocol. After the scheduler drains, invariants are
+// mid-collective reconfiguration storms through the Fig. 4
+// sequence-number protocol, and strategy-autotuner passes that install
+// searched strategies while collectives are in flight. After the scheduler drains, invariants are
 // checked: data correctness, generation agreement (no collective executes
 // with mixed ring views), and quiescence (no leaked flows or queued work).
 package chaos
@@ -49,6 +50,11 @@ type Scenario struct {
 	// Congestion starts an external strict-priority flow on a random
 	// link and runs the policy congestion watcher against it.
 	Congestion bool
+	// Autotunes is how many seed-scheduled strategy-autotuner passes run
+	// against the live deployment: each searches the candidate space
+	// under whatever fabric state the other faults have created and
+	// installs the winner mid-collective.
+	Autotunes int
 
 	// Horizon is the virtual-time window faults are scheduled in. All
 	// injectors are time-bounded so the simulation always drains.
@@ -103,9 +109,22 @@ func ReconfigStorm() Scenario {
 	}
 }
 
+// AutotuneChurn is the decision-plane scenario: repeated autotuner
+// passes install searched strategies (ring permutations, channel counts,
+// halving-doubling, tree thresholds) mid-collective while sends jitter
+// and an external flow perturbs the cost model's view of the fabric.
+func AutotuneChurn() Scenario {
+	return Scenario{
+		Name:  "autotune-churn",
+		Ranks: 8, Ops: 6, MaxCount: 4096, Depth: 2,
+		Autotunes: 3, SendDelays: true, Congestion: true,
+		Horizon: 10 * time.Millisecond,
+	}
+}
+
 // Scenarios returns the standard sweep set.
 func Scenarios() []Scenario {
-	return []Scenario{LinkFlap(), Straggler(), ReconfigStorm()}
+	return []Scenario{LinkFlap(), Straggler(), ReconfigStorm(), AutotuneChurn()}
 }
 
 // TraceEntry is one scheduler event in the deterministic event trace:

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"mccs/internal/collective"
 	"mccs/internal/harness"
 	"mccs/internal/netsim"
 	"mccs/internal/policy"
@@ -19,7 +20,7 @@ import (
 // and every fault is time-bounded: capacities are restored, slowdowns
 // cleared, external flows canceled, and the watcher stopped, so that the
 // only thing that can keep the simulation from draining is a genuine bug.
-func installInjectors(env *harness.Env, sc Scenario, inj *rand.Rand, gpus []topo.GPUID) {
+func installInjectors(env *harness.Env, sc Scenario, inj, tune *rand.Rand, gpus []topo.GPUID) {
 	if sc.LinkFlaps > 0 {
 		injectLinkFlaps(env, sc, inj)
 	}
@@ -35,6 +36,55 @@ func installInjectors(env *harness.Env, sc Scenario, inj *rand.Rand, gpus []topo
 	if sc.Congestion {
 		injectCongestion(env, sc, inj)
 	}
+	if sc.Autotunes > 0 {
+		injectAutotune(env, sc, tune)
+	}
+}
+
+// injectAutotune runs seed-scheduled strategy-autotuner passes against
+// the live deployment while collectives are in flight: each pass
+// searches the candidate space under whatever fabric state the other
+// faults have created and installs the winner through the same Fig. 4
+// reconfiguration path the storm driver stresses. The pass plan (times
+// and search options) is drawn at install time so it is fixed by the
+// seed before the simulation starts.
+func injectAutotune(env *harness.Env, sc Scenario, tune *rand.Rand) {
+	type pass struct {
+		after time.Duration
+		opts  policy.AutotuneOptions
+	}
+	plan := make([]pass, sc.Autotunes)
+	gap := sc.Horizon / time.Duration(sc.Autotunes+1)
+	for i := range plan {
+		plan[i] = pass{
+			after: gap/2 + randDuration(tune, gap),
+			opts: policy.AutotuneOptions{
+				Op:          collective.AllReduce,
+				Bytes:       1 << (10 + tune.Intn(8)), // 1 KB .. 128 KB
+				MaxChannels: 1 + tune.Intn(2),
+				NoTree:      tune.Intn(2) == 0,
+				NoHD:        tune.Intn(2) == 0,
+			},
+		}
+	}
+	ctrl := policy.NewController(env.Deployment)
+	env.S.Go("chaos:autotune", func(p *sim.Proc) {
+		dep := env.Deployment
+		// Wait for the communicator, bounded like the storm driver.
+		for i := 0; len(dep.View()) == 0; i++ {
+			if i > 4000 {
+				return
+			}
+			p.Sleep(20 * time.Microsecond)
+		}
+		id := dep.View()[0].ID
+		for _, ps := range plan {
+			p.Sleep(ps.after)
+			if _, err := ctrl.Autotune(p, id, ps.opts); err != nil {
+				panic(fmt.Sprintf("chaos: autotune: %v", err))
+			}
+		}
+	})
 }
 
 // injectLinkFlaps degrades random fabric links to a fraction of their

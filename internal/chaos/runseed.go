@@ -90,11 +90,14 @@ func RunSeed(sc Scenario, seed uint64) Result {
 	res := Result{Scenario: sc.Name, Seed: seed}
 
 	// Independent PRNG streams: workload script, schedule fuzzing, fault
-	// injection. Distinct odd multipliers keep consecutive seeds from
-	// producing correlated streams.
+	// injection, autotuner passes. Distinct odd multipliers keep
+	// consecutive seeds from producing correlated streams, and a separate
+	// tuner stream keeps existing scenarios' fault plans stable now that
+	// autotuning is a dimension.
 	wrk := randStream(seed, 0x9e3779b97f4a7c15, 1)
 	sched := randStream(seed, 0xbf58476d1ce4e5b9, 2)
 	inj := randStream(seed, 0x94d049bb133111eb, 3)
+	tune := randStream(seed, 0x2545f4914f6cdd1d, 4)
 
 	script, err := buildScript(sc, wrk)
 	if err != nil {
@@ -133,7 +136,7 @@ func RunSeed(sc Scenario, seed uint64) Result {
 		})
 	}
 
-	installInjectors(env, sc, inj, gpus)
+	installInjectors(env, sc, inj, tune, gpus)
 
 	simErr := runSim(env.S)
 

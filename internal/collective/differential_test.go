@@ -1,0 +1,211 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Differential correctness harness: every algorithm in the package —
+// ring, binomial tree, halving-doubling, and channel-split ring — is
+// held to the sequential Oracle with exact bit equality. Inputs are
+// small integers, whose float32 sums are exact in any reduction order,
+// so "bits differ" always means "wrong schedule", never rounding.
+
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// diffCheck compares got to the oracle for op. For Reduce only the root
+// is specified; every other op is checked on all ranks.
+func diffCheck(op Op, root int, inputs, got [][]float32) error {
+	want, err := Oracle(op, root, inputs)
+	if err != nil {
+		return err
+	}
+	for r := range want {
+		if op == Reduce && r != root {
+			continue
+		}
+		if !bitsEqual(got[r], want[r]) {
+			return fmt.Errorf("%v root=%d rank %d: output differs from oracle", op, root, r)
+		}
+	}
+	return nil
+}
+
+// channelSplitAllReduce runs an independent ring AllReduce per channel
+// over contiguous ceil-balanced slices of the buffer — the data path
+// the proxy uses when a strategy has multiple channels, with a
+// different ring order allowed per channel.
+func channelSplitAllReduce(rings []*Ring, inputs [][]float32) ([][]float32, error) {
+	n := len(inputs)
+	count := int64(len(inputs[0]))
+	nch := len(rings)
+	starts, lens := Regions(count, nch)
+	out := make([][]float32, n)
+	for r := range out {
+		out[r] = make([]float32, count)
+	}
+	for ch := 0; ch < nch; ch++ {
+		sub := make([][]float32, n)
+		for r := range sub {
+			sub[r] = append([]float32(nil), inputs[r][starts[ch]:starts[ch]+lens[ch]]...)
+		}
+		res, err := ExecuteRing(AllReduce, rings[ch], 0, sub)
+		if err != nil {
+			return nil, err
+		}
+		for r := range res {
+			copy(out[r][starts[ch]:starts[ch]+lens[ch]], res[r])
+		}
+	}
+	return out, nil
+}
+
+// TestDifferentialRing fuzzes every op over random ring orders, rank
+// counts, sizes and roots against the oracle.
+func TestDifferentialRing(t *testing.T) {
+	f := func(seed int64, nRaw, countRaw, rootRaw, opRaw uint8) bool {
+		n := int(nRaw%13) + 1
+		count := int(countRaw % 48)
+		root := int(rootRaw) % n
+		op := Op(int(opRaw) % 5)
+		rng := rand.New(rand.NewSource(seed))
+		in := randInputs(rng, n, count)
+		got, err := ExecuteRing(op, randRing(rng, n), root, in)
+		if err != nil {
+			t.Logf("execute: %v", err)
+			return false
+		}
+		if err := diffCheck(op, root, in, got); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialTree fuzzes the binomial-tree ops (AllReduce,
+// Broadcast, Reduce) against the oracle.
+func TestDifferentialTree(t *testing.T) {
+	ops := []Op{AllReduce, Broadcast, Reduce}
+	f := func(seed int64, nRaw, countRaw, rootRaw, opRaw uint8) bool {
+		n := int(nRaw%13) + 1
+		count := int(countRaw % 48)
+		root := int(rootRaw) % n
+		op := ops[int(opRaw)%len(ops)]
+		rng := rand.New(rand.NewSource(seed))
+		in := randInputs(rng, n, count)
+		got, err := ExecuteTree(op, n, root, in)
+		if err != nil {
+			t.Logf("execute: %v", err)
+			return false
+		}
+		if err := diffCheck(op, root, in, got); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialHD fuzzes halving-doubling AllReduce against the
+// oracle across random rank counts (power-of-two and not) and sizes.
+func TestDifferentialHD(t *testing.T) {
+	f := func(seed int64, nRaw, countRaw uint8) bool {
+		n := int(nRaw%21) + 1
+		count := int(countRaw % 48)
+		rng := rand.New(rand.NewSource(seed))
+		in := randInputs(rng, n, count)
+		got, err := ExecuteHD(in)
+		if err != nil {
+			t.Logf("execute: %v", err)
+			return false
+		}
+		if err := diffCheck(AllReduce, 0, in, got); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialChannelSplit fuzzes multi-channel ring AllReduce —
+// each channel an independent ring order over its slice — against the
+// oracle. Channel count may exceed what any real strategy would use;
+// empty slices must be harmless.
+func TestDifferentialChannelSplit(t *testing.T) {
+	f := func(seed int64, nRaw, countRaw, nchRaw uint8) bool {
+		n := int(nRaw%11) + 1
+		count := int(countRaw % 48)
+		nch := int(nchRaw%4) + 1
+		rng := rand.New(rand.NewSource(seed))
+		in := randInputs(rng, n, count)
+		rings := make([]*Ring, nch)
+		for i := range rings {
+			rings[i] = randRing(rng, n)
+		}
+		got, err := channelSplitAllReduce(rings, in)
+		if err != nil {
+			t.Logf("execute: %v", err)
+			return false
+		}
+		if err := diffCheck(AllReduce, 0, in, got); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialCrossAlgorithm pins the headline property directly:
+// for the same inputs, ring, tree and halving-doubling AllReduce
+// produce byte-identical outputs on every rank.
+func TestDifferentialCrossAlgorithm(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{1, 2, 3, 5, 6, 8, 12, 16} {
+		for _, count := range []int{0, 1, 17, 40} {
+			in := randInputs(rng, n, count)
+			ring, err := ExecuteRing(AllReduce, randRing(rng, n), 0, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tree, err := ExecuteTree(AllReduce, n, 0, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hd, err := ExecuteHD(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < n; r++ {
+				if !bitsEqual(ring[r], tree[r]) || !bitsEqual(ring[r], hd[r]) {
+					t.Fatalf("n=%d count=%d rank %d: algorithms disagree", n, count, r)
+				}
+			}
+		}
+	}
+}

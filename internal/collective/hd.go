@@ -1,0 +1,237 @@
+package collective
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Recursive halving-doubling AllReduce (Rabenseifner's algorithm). The
+// reduce-scatter phase recursively halves the exchanged span (log2 n
+// rounds), the allgather phase recursively doubles it back — so the
+// total traffic matches the ring (2·(n-1)/n of the buffer per rank) but
+// the round count is 2·log2 n instead of 2·(n-1). That trade is why
+// NCCL-class tuners pick halving-doubling at mid-sized messages: fewer
+// latency terms than the ring, more bandwidth per round than the tree.
+//
+// Non-power-of-two rank counts use the standard fold: with p2 the
+// largest power of two ≤ n and r = n - p2, the r extra ranks
+// [p2, n) first fold their whole buffer into partner rank-p2 (reduce),
+// idle through the core, and receive the finished result back in a
+// final unfold round.
+//
+// Schedules are expressed in element offsets against the shared
+// boundary grid Regions(count, p2), so the bytes a rank sends in a
+// round are exactly the bytes its peer expects — including zero-length
+// spans when count < p2.
+
+// HDStep is one synchronous round of the halving-doubling schedule for
+// one rank. Inactive rounds keep every rank's schedule the same length,
+// so executors can run rounds in lockstep.
+type HDStep struct {
+	// Active is false when the rank idles this round.
+	Active bool
+	// Peer is the counterpart rank of the pairwise exchange.
+	Peer int
+	// SendLo/SendLen delimit the elements sent to Peer (SendLen may be
+	// zero, meaning nothing is transmitted this round).
+	SendLo, SendLen int64
+	// RecvLo/RecvLen delimit the elements received from Peer.
+	RecvLo, RecvLen int64
+	// RecvReduce sums the received span into the local buffer instead of
+	// overwriting it.
+	RecvReduce bool
+}
+
+// hdSplit returns p2 (largest power of two ≤ n) and k = log2 p2.
+func hdSplit(n int) (p2, k int) {
+	k = bits.Len(uint(n)) - 1
+	return 1 << k, k
+}
+
+// HDRounds returns the number of rounds in every rank's HDSchedule:
+// 2·log2 p2, plus the fold and unfold rounds when n is not a power of
+// two. n ≤ 1 needs no communication.
+func HDRounds(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	p2, k := hdSplit(n)
+	if p2 == n {
+		return 2 * k
+	}
+	return 2*k + 2
+}
+
+// HDSchedule returns rank's halving-doubling AllReduce schedule for a
+// buffer of count elements shared by n ranks. All ranks' schedules have
+// exactly HDRounds(n) entries.
+func HDSchedule(n int, count int64, rank int) []HDStep {
+	if rank < 0 || rank >= n {
+		panic(fmt.Sprintf("collective: hd rank %d out of range [0,%d)", rank, n))
+	}
+	if n <= 1 {
+		return nil
+	}
+	p2, _ := hdSplit(n)
+	r := n - p2
+	starts, _ := Regions(count, p2)
+	// bound(i) is the element offset of region boundary i ∈ [0, p2].
+	bound := func(i int) int64 {
+		if i == p2 {
+			return count
+		}
+		return starts[i]
+	}
+
+	steps := make([]HDStep, 0, HDRounds(n))
+
+	// Fold: extras push their whole buffer into their partner.
+	if r > 0 {
+		switch {
+		case rank >= p2:
+			steps = append(steps, HDStep{Active: true, Peer: rank - p2, SendLo: 0, SendLen: count})
+		case rank < r:
+			steps = append(steps, HDStep{Active: true, Peer: rank + p2, RecvLo: 0, RecvLen: count, RecvReduce: true})
+		default:
+			steps = append(steps, HDStep{})
+		}
+	}
+
+	core := rank < p2
+	lo, hi := 0, p2 // owned boundary range, in region indices
+
+	// Recursive halving: reduce-scatter over the p2 participants.
+	for mask := p2 >> 1; mask >= 1; mask >>= 1 {
+		if !core {
+			steps = append(steps, HDStep{})
+			continue
+		}
+		mid := (lo + hi) / 2
+		keepLo, keepHi, sendLo, sendHi := lo, mid, mid, hi
+		if rank&mask != 0 {
+			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
+		}
+		steps = append(steps, HDStep{
+			Active: true,
+			Peer:   rank ^ mask,
+			SendLo: bound(sendLo), SendLen: bound(sendHi) - bound(sendLo),
+			RecvLo: bound(keepLo), RecvLen: bound(keepHi) - bound(keepLo),
+			RecvReduce: true,
+		})
+		lo, hi = keepLo, keepHi
+	}
+
+	// Recursive doubling: allgather the finished regions back out.
+	for mask := 1; mask < p2; mask <<= 1 {
+		if !core {
+			steps = append(steps, HDStep{})
+			continue
+		}
+		size := hi - lo
+		recvLo, recvHi := hi, hi+size
+		if rank&mask != 0 {
+			recvLo, recvHi = lo-size, lo
+		}
+		steps = append(steps, HDStep{
+			Active: true,
+			Peer:   rank ^ mask,
+			SendLo: bound(lo), SendLen: bound(hi) - bound(lo),
+			RecvLo: bound(recvLo), RecvLen: bound(recvHi) - bound(recvLo),
+		})
+		if recvLo < lo {
+			lo = recvLo
+		} else {
+			hi = recvHi
+		}
+	}
+
+	// Unfold: partners return the finished result to the extras.
+	if r > 0 {
+		switch {
+		case rank >= p2:
+			steps = append(steps, HDStep{Active: true, Peer: rank - p2, RecvLo: 0, RecvLen: count})
+		case rank < r:
+			steps = append(steps, HDStep{Active: true, Peer: rank + p2, SendLo: 0, SendLen: count})
+		default:
+			steps = append(steps, HDStep{})
+		}
+	}
+	return steps
+}
+
+// HDPeers returns the distinct ranks rank exchanges data with across the
+// halving-doubling schedule — the connections a communicator must
+// establish to run it. Peer identity does not depend on count.
+func HDPeers(n, rank int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, st := range HDSchedule(n, 0, rank) {
+		if st.Active && !seen[st.Peer] {
+			seen[st.Peer] = true
+			out = append(out, st.Peer)
+		}
+	}
+	return out
+}
+
+// ExecuteHD runs the halving-doubling AllReduce round-synchronously
+// over in-memory buffers, mirroring ExecuteRing: every rank ends up
+// with the elementwise sum of all inputs.
+func ExecuteHD(inputs [][]float32) ([][]float32, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("collective: hd over empty communicator")
+	}
+	count := int64(len(inputs[0]))
+	work := make([][]float32, n)
+	for r, in := range inputs {
+		if int64(len(in)) != count {
+			return nil, fmt.Errorf("collective: rank %d input length %d, want %d", r, len(in), count)
+		}
+		work[r] = append([]float32(nil), in...)
+	}
+	rounds := HDRounds(n)
+	scheds := make([][]HDStep, n)
+	for r := range scheds {
+		scheds[r] = HDSchedule(n, count, r)
+		if len(scheds[r]) != rounds {
+			return nil, fmt.Errorf("collective: rank %d has %d hd rounds, want %d", r, len(scheds[r]), rounds)
+		}
+	}
+	for s := 0; s < rounds; s++ {
+		// Snapshot sends before applying receives so both sides of a
+		// pairwise exchange use pre-round data.
+		type xfer struct {
+			to   int
+			data []float32
+		}
+		var xfers []xfer
+		for r := 0; r < n; r++ {
+			st := scheds[r][s]
+			if !st.Active || st.SendLen == 0 {
+				continue
+			}
+			snap := append([]float32(nil), work[r][st.SendLo:st.SendLo+st.SendLen]...)
+			xfers = append(xfers, xfer{to: st.Peer, data: snap})
+		}
+		for _, x := range xfers {
+			st := scheds[x.to][s]
+			if !st.Active {
+				return nil, fmt.Errorf("collective: hd round %d: rank %d received while inactive", s, x.to)
+			}
+			if int64(len(x.data)) != st.RecvLen {
+				return nil, fmt.Errorf("collective: hd round %d: rank %d expects %d elements, got %d",
+					s, x.to, st.RecvLen, len(x.data))
+			}
+			dst := work[x.to][st.RecvLo : st.RecvLo+st.RecvLen]
+			if st.RecvReduce {
+				for i := range dst {
+					dst[i] += x.data[i]
+				}
+			} else {
+				copy(dst, x.data)
+			}
+		}
+	}
+	return work, nil
+}

@@ -1,0 +1,136 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHDRounds(t *testing.T) {
+	for _, tc := range []struct{ n, rounds int }{
+		{1, 0}, {2, 2}, {3, 4}, {4, 4}, {5, 6}, {6, 6}, {7, 6}, {8, 6},
+		{9, 8}, {13, 8}, {16, 8}, {17, 10},
+	} {
+		if got := HDRounds(tc.n); got != tc.rounds {
+			t.Errorf("HDRounds(%d) = %d, want %d", tc.n, got, tc.rounds)
+		}
+		for r := 0; r < tc.n; r++ {
+			if got := len(HDSchedule(tc.n, 100, r)); got != tc.rounds {
+				t.Errorf("n=%d rank %d: schedule has %d rounds, want %d", tc.n, r, got, tc.rounds)
+			}
+		}
+	}
+}
+
+// Every active step must have a mirror on the peer: same round, peer
+// pointing back, send span exactly matching the peer's receive span,
+// and all spans in bounds.
+func TestHDSchedulePairing(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 6, 7, 8, 11, 16, 21} {
+		for _, count := range []int64{0, 1, 3, 16, 37, 256} {
+			scheds := make([][]HDStep, n)
+			for r := range scheds {
+				scheds[r] = HDSchedule(n, count, r)
+			}
+			for s := 0; s < HDRounds(n); s++ {
+				for r := 0; r < n; r++ {
+					st := scheds[r][s]
+					if !st.Active {
+						continue
+					}
+					if st.Peer < 0 || st.Peer >= n || st.Peer == r {
+						t.Fatalf("n=%d count=%d round %d rank %d: bad peer %d", n, count, s, r, st.Peer)
+					}
+					ps := scheds[st.Peer][s]
+					if !ps.Active || ps.Peer != r {
+						t.Fatalf("n=%d count=%d round %d: rank %d names peer %d, peer names %d (active=%v)",
+							n, count, s, r, st.Peer, ps.Peer, ps.Active)
+					}
+					if st.SendLo != ps.RecvLo || st.SendLen != ps.RecvLen {
+						t.Fatalf("n=%d count=%d round %d: rank %d sends [%d,+%d), peer %d expects [%d,+%d)",
+							n, count, s, r, st.SendLo, st.SendLen, st.Peer, ps.RecvLo, ps.RecvLen)
+					}
+					if st.SendLo < 0 || st.SendLo+st.SendLen > count || st.RecvLo < 0 || st.RecvLo+st.RecvLen > count {
+						t.Fatalf("n=%d count=%d round %d rank %d: span out of bounds: %+v", n, count, s, r, st)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHDExecuteMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 1; n <= 17; n++ {
+		for _, count := range []int{0, 1, 3, 8, 19, 64} {
+			in := randInputs(rng, n, count)
+			want, err := Oracle(AllReduce, 0, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ExecuteHD(in)
+			if err != nil {
+				t.Fatalf("n=%d count=%d: %v", n, count, err)
+			}
+			for r := 0; r < n; r++ {
+				for i := range want[r] {
+					if math.Float32bits(got[r][i]) != math.Float32bits(want[r][i]) {
+						t.Fatalf("n=%d count=%d rank %d elem %d = %g, want %g",
+							n, count, r, i, got[r][i], want[r][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHDPeersSymmetricConnected(t *testing.T) {
+	for _, n := range []int{2, 5, 6, 11, 16} {
+		adj := make(map[[2]int]bool)
+		for r := 0; r < n; r++ {
+			for _, p := range HDPeers(n, r) {
+				adj[[2]int{r, p}] = true
+			}
+		}
+		for e := range adj {
+			if !adj[[2]int{e[1], e[0]}] {
+				t.Errorf("n=%d: hd edge %v not symmetric", n, e)
+			}
+		}
+		seen := map[int]bool{0: true}
+		queue := []int{0}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, p := range HDPeers(n, u) {
+				if !seen[p] {
+					seen[p] = true
+					queue = append(queue, p)
+				}
+			}
+		}
+		if len(seen) != n {
+			t.Errorf("n=%d: hd peers connect %d of %d ranks", n, len(seen), n)
+		}
+	}
+}
+
+// The whole point of halving-doubling: ring-class traffic in tree-class
+// rounds. For a power-of-two communicator each participant moves
+// exactly 2·(n-1)/n of the buffer across the whole schedule.
+func TestHDTrafficAndRounds(t *testing.T) {
+	n, count := 8, int64(1024)
+	if hd, ring := HDRounds(n), len(Steps(AllReduce, IdentityRing(n), 0, 0)); hd >= ring {
+		t.Errorf("hd rounds %d not fewer than ring steps %d", hd, ring)
+	}
+	for r := 0; r < n; r++ {
+		var sent int64
+		for _, st := range HDSchedule(n, count, r) {
+			sent += st.SendLen
+		}
+		want := 2 * (count / int64(n)) * int64(n-1)
+		if sent != want {
+			t.Errorf("rank %d sends %d elements, want %d", r, sent, want)
+		}
+	}
+}

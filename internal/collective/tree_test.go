@@ -149,6 +149,166 @@ func TestQuickTreeMatchesRing(t *testing.T) {
 	}
 }
 
+// Table-driven regression cases for the binomial-tree schedules at the
+// edges that historically break tree implementations: nranks=1 (no
+// communication at all), nranks=2 (single round), and non-power-of-two
+// counts where some ranks have no partner in a round. Each case pins the
+// exact per-rank, per-round transfer.
+func TestTreeScheduleTables(t *testing.T) {
+	send := func(peer int) TreeRound { return TreeRound{Active: true, T: Transfer{Peer: peer, Send: true}} }
+	recvR := func(peer int) TreeRound {
+		return TreeRound{Active: true, T: Transfer{Peer: peer, Reduce: true}}
+	}
+	idle := TreeRound{}
+
+	cases := []struct {
+		name    string
+		n, root int
+		reduce  [][]TreeRound // [rank][round]
+	}{
+		{
+			name: "n1", n: 1, root: 0,
+			reduce: [][]TreeRound{{}},
+		},
+		{
+			name: "n2", n: 2, root: 0,
+			reduce: [][]TreeRound{
+				{recvR(1)},
+				{send(0)},
+			},
+		},
+		{
+			name: "n2-root1", n: 2, root: 1,
+			reduce: [][]TreeRound{
+				{send(1)},
+				{recvR(0)},
+			},
+		},
+		{
+			name: "n3", n: 3, root: 0,
+			reduce: [][]TreeRound{
+				{recvR(1), recvR(2)},
+				{send(0), idle},
+				{idle, send(0)}, // vrank 2 has no partner in round 0
+			},
+		},
+		{
+			name: "n5", n: 5, root: 0,
+			reduce: [][]TreeRound{
+				{recvR(1), recvR(2), recvR(4)},
+				{send(0), idle, idle},
+				{recvR(3), send(0), idle},
+				{send(2), idle, idle},
+				{idle, idle, send(0)}, // vrank 4 idles until the mask-4 round
+			},
+		},
+		{
+			name: "n6-root2", n: 6, root: 2,
+			// vrank v = (rank-2) mod 6: rank 2 is the virtual root, rank 0
+			// is v4 (idle at mask 2 — its would-be partner v6 does not
+			// exist), rank 1 is v5.
+			reduce: [][]TreeRound{
+				{recvR(1), idle, send(2)},      // v4
+				{send(0), idle, idle},          // v5
+				{recvR(3), recvR(4), recvR(0)}, // v0 = root
+				{send(2), idle, idle},          // v1
+				{recvR(5), send(2), idle},      // v2
+				{send(4), idle, idle},          // v3
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for r := 0; r < tc.n; r++ {
+				got := TreeReduceRounds(tc.n, r, tc.root)
+				want := tc.reduce[r]
+				if len(got) != len(want) {
+					t.Fatalf("rank %d: %d rounds, want %d", r, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("rank %d round %d = %+v, want %+v", r, i, got[i], want[i])
+					}
+				}
+				// Broadcast must be the exact mirror: reversed rounds with
+				// send/recv flipped and no reduce.
+				bc := TreeBroadcastRounds(tc.n, r, tc.root)
+				if len(bc) != len(want) {
+					t.Fatalf("rank %d: broadcast %d rounds, want %d", r, len(bc), len(want))
+				}
+				for i := range want {
+					j := len(want) - 1 - i
+					if bc[j].Active != want[i].Active {
+						t.Errorf("rank %d: broadcast round %d active=%v, want %v", r, j, bc[j].Active, want[i].Active)
+						continue
+					}
+					if !want[i].Active {
+						continue
+					}
+					if bc[j].T.Peer != want[i].T.Peer || bc[j].T.Send == want[i].T.Send || bc[j].T.Reduce {
+						t.Errorf("rank %d: broadcast round %d = %+v not mirror of reduce %+v", r, j, bc[j], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// Structural invariants for every rank count 1..33: schedules are
+// rectangular (ceil(log2 n) rounds on every rank), every send has a
+// matching receive in the same round, the root never sends during
+// reduce, and each non-root sends exactly once.
+func TestTreeScheduleInvariants(t *testing.T) {
+	ceilLog2 := func(n int) int {
+		r := 0
+		for 1<<r < n {
+			r++
+		}
+		return r
+	}
+	for n := 1; n <= 33; n++ {
+		for _, root := range []int{0, n / 2, n - 1} {
+			rounds := ceilLog2(n)
+			scheds := make([][]TreeRound, n)
+			for r := 0; r < n; r++ {
+				scheds[r] = TreeReduceRounds(n, r, root)
+				if len(scheds[r]) != rounds {
+					t.Fatalf("n=%d root=%d rank %d: %d rounds, want %d", n, root, r, len(scheds[r]), rounds)
+				}
+			}
+			sends := make([]int, n)
+			for s := 0; s < rounds; s++ {
+				for r := 0; r < n; r++ {
+					st := scheds[r][s]
+					if !st.Active {
+						continue
+					}
+					ps := scheds[st.T.Peer][s]
+					if !ps.Active || ps.T.Peer != r || ps.T.Send == st.T.Send {
+						t.Fatalf("n=%d root=%d round %d: rank %d transfer %+v unmatched (peer has %+v)",
+							n, root, s, r, st, ps)
+					}
+					if st.T.Send {
+						sends[r]++
+					} else if !st.T.Reduce {
+						t.Fatalf("n=%d root=%d round %d: rank %d reduce-phase receive without reduce", n, root, s, r)
+					}
+				}
+			}
+			for r := 0; r < n; r++ {
+				want := 1
+				if r == root {
+					want = 0
+				}
+				if sends[r] != want {
+					t.Errorf("n=%d root=%d rank %d sends %d times during reduce, want %d", n, root, r, sends[r], want)
+				}
+			}
+		}
+	}
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

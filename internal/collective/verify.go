@@ -2,6 +2,70 @@ package collective
 
 import "fmt"
 
+// Oracle computes the mathematically expected per-rank results of op by
+// straight sequential reduction/gathering — no schedule at all. It is
+// the ground truth the differential tests hold every algorithm (ring,
+// binomial tree, halving-doubling) to: algorithm choice may change
+// timing, never data.
+//
+// Output shapes match ExecuteRing's contract. For Reduce, non-root
+// outputs are the unchanged inputs (the collective leaves them
+// unspecified; callers compare only the root).
+func Oracle(op Op, root int, inputs [][]float32) ([][]float32, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("collective: oracle over empty communicator")
+	}
+	count := int64(len(inputs[0]))
+	for r, in := range inputs {
+		if int64(len(in)) != count {
+			return nil, fmt.Errorf("collective: rank %d input length %d, want %d", r, len(in), count)
+		}
+	}
+	sum := make([]float32, count)
+	for _, in := range inputs {
+		for i, v := range in {
+			sum[i] += v
+		}
+	}
+	out := make([][]float32, n)
+	switch op {
+	case AllReduce:
+		for r := range out {
+			out[r] = append([]float32(nil), sum...)
+		}
+	case ReduceScatter:
+		starts, lens := Regions(count, n)
+		for r := range out {
+			out[r] = make([]float32, count)
+			copy(out[r][starts[r]:starts[r]+lens[r]], sum[starts[r]:starts[r]+lens[r]])
+		}
+	case AllGather:
+		cat := make([]float32, 0, count*int64(n))
+		for _, in := range inputs {
+			cat = append(cat, in...)
+		}
+		for r := range out {
+			out[r] = append([]float32(nil), cat...)
+		}
+	case Broadcast:
+		for r := range out {
+			out[r] = append([]float32(nil), inputs[root]...)
+		}
+	case Reduce:
+		for r := range out {
+			if r == root {
+				out[r] = append([]float32(nil), sum...)
+			} else {
+				out[r] = append([]float32(nil), inputs[r]...)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("collective: oracle: unknown op %v", op)
+	}
+	return out, nil
+}
+
 // ExecuteRing runs op's ring schedule step-synchronously over plain
 // in-memory buffers and returns the per-rank results. It exists so tests
 // can prove schedule correctness independent of the transport and GPU

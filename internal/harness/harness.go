@@ -240,6 +240,11 @@ type SingleAppConfig struct {
 	// TelemetryEvery overrides the sampling interval
 	// (telemetry.DefaultInterval when zero).
 	TelemetryEvery time.Duration
+	// Autotune runs the strategy autotuner once after communicator
+	// setup and installs the winning strategy before the measured loop
+	// (the -autotune flag of mccs-bench). Requires a service-mode
+	// system: baseline (library) deployments refuse reconfiguration.
+	Autotune bool
 }
 
 // SingleAppResult aggregates one Fig. 6 cell.
@@ -317,6 +322,17 @@ func RunSingleAppWithTree(cfg SingleAppConfig, treeThreshold int64) (SingleAppRe
 	})
 }
 
+// RunSingleAppWithStrategy is RunSingleApp with every communicator pinned
+// to an explicit strategy — the harness hook the tuner's golden tests use
+// to measure each candidate exactly as the model scored it.
+func RunSingleAppWithStrategy(cfg SingleAppConfig, st spec.Strategy) (SingleAppResult, error) {
+	return runSingleMutated(cfg, func(c *mccsd.Config) {
+		c.Strategy = func(*topo.Cluster, *spec.CommInfo) spec.Strategy {
+			return st.Clone()
+		}
+	})
+}
+
 func runSingleMutated(cfg SingleAppConfig, mutate func(*mccsd.Config)) (SingleAppResult, error) {
 	if cfg.Iters <= 0 {
 		cfg.Iters = 10
@@ -387,6 +403,34 @@ func runSingleTrialMutated(cfg SingleAppConfig, salt uint64, mutate func(*mccsd.
 	}
 	var algbw []float64
 	errs := make([]error, n)
+
+	// Autotune: every rank checks in after communicator setup, the
+	// controller scores and installs the winning strategy while the
+	// datapath is idle, then the measured loops are released.
+	var ctrl *policy.Controller
+	var ready *sim.Latch
+	tuned := &sim.Event{}
+	var tuneErr error
+	if cfg.Autotune {
+		if env.Deployment.Config().Baseline {
+			return nil, fmt.Errorf("harness: autotune requires a service-mode system")
+		}
+		ctrl = policy.NewController(env.Deployment)
+		ready = sim.NewLatch(n)
+		env.S.Go("tuner", func(p *sim.Proc) {
+			ready.Wait(p)
+			view := env.Deployment.View()
+			if len(view) == 0 {
+				tuneErr = fmt.Errorf("harness: no communicator to autotune")
+			} else if _, err := ctrl.Autotune(p, view[0].ID, policy.AutotuneOptions{
+				Op: cfg.Op, Bytes: cfg.Bytes,
+			}); err != nil {
+				tuneErr = err
+			}
+			tuned.Signal(env.S)
+		})
+	}
+
 	for rank, gpu := range gpus {
 		rank, gpu := rank, gpu
 		host := env.Cluster.HostOfGPU(gpu)
@@ -414,6 +458,13 @@ func runSingleTrialMutated(cfg SingleAppConfig, salt uint64, mutate func(*mccsd.
 				errs[rank] = err
 				return
 			}
+			if cfg.Autotune {
+				ready.Done(env.S)
+				tuned.Wait(p)
+				if tuneErr != nil {
+					return
+				}
+			}
 			issue := func() (*mccsd.OpHandle, error) {
 				switch cfg.Op {
 				case collective.AllGather:
@@ -431,11 +482,19 @@ func runSingleTrialMutated(cfg SingleAppConfig, salt uint64, mutate func(*mccsd.
 			}
 			if rank == 0 {
 				algbw = append(algbw, gapBandwidth(done, cfg.Bytes, cfg.Warmup)...)
+				if ctrl != nil {
+					if _, err := ctrl.ObserveAchieved(comm.ID(), 0); err != nil {
+						errs[rank] = err
+					}
+				}
 			}
 		})
 	}
 	if err := env.S.Run(); err != nil {
 		return nil, err
+	}
+	if tuneErr != nil {
+		return nil, tuneErr
 	}
 	for _, e := range errs {
 		if e != nil {

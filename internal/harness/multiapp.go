@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mccs/internal/collective"
@@ -92,6 +93,10 @@ type MultiAppConfig struct {
 	// TelemetryEvery overrides the sampling interval
 	// (telemetry.DefaultInterval when zero).
 	TelemetryEvery time.Duration
+	// Autotune runs the strategy autotuner over every communicator
+	// (in ID order) before the measured loops start, instead of /
+	// in addition to FFA. Service-mode systems only.
+	Autotune bool
 }
 
 // MultiAppResult reports the per-application bus bandwidth.
@@ -182,6 +187,20 @@ func runMultiTrial(cfg MultiAppConfig, salt uint64) (map[spec.AppID][]float64, e
 	// MCCS, then release the measured loops.
 	env.S.Go("controller", func(p *sim.Proc) {
 		inited.Wait(p)
+		// Autotune picks each communicator's shape (order, channels,
+		// algorithm) in isolation; FFA then coordinates route pins
+		// *across* tenants, which no per-communicator search can see.
+		if cfg.Autotune && !env.Deployment.Config().Baseline {
+			view := env.Deployment.View()
+			sort.Slice(view, func(i, j int) bool { return view[i].ID < view[j].ID })
+			for _, ci := range view {
+				if _, err := ctrl.Autotune(p, ci.ID, policy.AutotuneOptions{
+					Op: collective.AllReduce, Bytes: cfg.Bytes,
+				}); err != nil {
+					errs = append(errs, err)
+				}
+			}
+		}
 		if cfg.System == ncclsim.MCCS {
 			if err := ctrl.ApplyFFA(); err != nil {
 				errs = append(errs, err)

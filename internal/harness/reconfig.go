@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"mccs/internal/collective"
 	"mccs/internal/mccsd"
 	"mccs/internal/ncclsim"
 	"mccs/internal/netsim"
@@ -49,6 +50,11 @@ type ReconfigConfig struct {
 	// TelemetryPath still samples — the series is then only available
 	// through ReconfigResult.Telemetry.
 	TelemetryEvery time.Duration
+	// Autotune replaces the hand-coded ring reversal at ReconfigAt with
+	// a full autotuner pass: the cost model reads the background flow's
+	// external load off the fabric and the search rediscovers the
+	// reversal (or something better) on its own.
+	Autotune bool
 }
 
 // DefaultReconfigConfig mirrors the paper's scenario: 100 G switch links,
@@ -183,11 +189,30 @@ func RunReconfigShowcase(cfg ReconfigConfig) (ReconfigResult, error) {
 		})
 	})
 
-	// The external centralized manager issues the ring reversal.
+	// The external centralized manager issues the ring reversal — either
+	// hand-coded (the paper's scripted Fig. 7) or rediscovered by the
+	// autotuner from the observed link load.
 	s.Go("controller", func(p *sim.Proc) {
 		p.SleepUntil(sim.Time(cfg.ReconfigAt))
 		if commID == 0 {
 			errs = append(errs, fmt.Errorf("harness: communicator not ready at reconfig time"))
+			return
+		}
+		if cfg.Autotune {
+			ctrl := policy.NewController(dep)
+			if _, err := ctrl.Autotune(p, commID, policy.AutotuneOptions{
+				Op: collective.AllReduce, Bytes: cfg.Bytes,
+			}); err != nil {
+				errs = append(errs, err)
+				return
+			}
+			// Let a few post-install iterations land, then record the
+			// achieved completion time against the prediction (visible
+			// as predicted-vs-achieved in mccs-top's TUNER section).
+			p.Sleep(2 * time.Second)
+			if _, err := ctrl.ObserveAchieved(commID, 0); err != nil {
+				errs = append(errs, err)
+			}
 			return
 		}
 		cur := mustStrategy(dep, commID)
@@ -262,5 +287,3 @@ func mustStrategy(dep *mccsd.Deployment, id spec.CommID) spec.Strategy {
 	}
 	panic(fmt.Sprintf("harness: communicator %d not in view", id))
 }
-
-var _ = policy.NewController

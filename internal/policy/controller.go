@@ -31,6 +31,10 @@ type Controller struct {
 	telTSInstalls *telemetry.Counter // TS schedules installed on victims
 	telTSWindows  *telemetry.Counter // busy windows across installed schedules
 	telTSClears   *telemetry.Counter // TS schedules cleared
+
+	// stratInfo tracks the live mccs_tuner_strategy_info gauge per app
+	// so a new autotune decision can retire the previous one.
+	stratInfo map[spec.AppID]*telemetry.Gauge
 }
 
 // NewController attaches a controller to a deployment.

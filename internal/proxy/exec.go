@@ -37,6 +37,20 @@ func (r *Runner) execute(p *sim.Proc, op *OpRequest) {
 		// Single-rank communicator: the initial copy is the whole op.
 	case r.useTree(op, cs, outBytes):
 		r.runTree(p, op, cs)
+	case r.useHD(op, cs):
+		if nch == 1 {
+			r.runHD(p, op, cs, 0)
+		} else {
+			latch := sim.NewLatch(nch)
+			for ch := 0; ch < nch; ch++ {
+				ch := ch
+				r.comm.s.Go(fmt.Sprintf("proxy:c%d:r%d:hd%d", r.comm.Info.ID, r.rank, ch), func(p2 *sim.Proc) {
+					r.runHD(p2, op, cs, ch)
+					latch.Done(r.comm.s)
+				})
+			}
+			latch.Wait(p)
+		}
 	default:
 		if nch == 1 {
 			r.runChannel(p, op, cs, 0)
@@ -196,6 +210,93 @@ func (r *Runner) runTree(p *sim.Proc, op *OpRequest, cs *connSet) {
 			} else {
 				copy(dst, d.Data)
 			}
+		}
+	}
+}
+
+// useHD reports whether this op runs the halving-doubling schedule: the
+// strategy selected AlgoHD (so butterfly connections exist) and the op
+// is a dense AllReduce. Small messages below the tree threshold still
+// prefer the tree (checked first by execute), mirroring how a tuner
+// composes the two.
+func (r *Runner) useHD(op *OpRequest, cs *connSet) bool {
+	return cs.hd != nil && op.Op == collective.AllReduce
+}
+
+// runHD executes the halving-doubling AllReduce rounds of one channel.
+// Channels split the buffer into contiguous ceil-balanced sub-ranges
+// (same split the rings use), each running an independent butterfly
+// over its own connections. Sends are asynchronous and receives block,
+// so paired exchanges within a round cannot deadlock; per-connection
+// FIFO order keeps rounds matched without explicit tags.
+func (r *Runner) runHD(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
+	n := r.comm.Info.NumRanks()
+	nch := len(cs.conns)
+	chStart, chLen := channelSlice(0, op.Count, nch, ch)
+	steps := collective.HDSchedule(n, chLen, r.rank)
+	cfg := r.comm.cfg
+
+	p.Sleep(cfg.KernelLaunch)
+
+	rec := r.comm.rec
+	traceSteps := rec.Enabled(trace.KindStep)
+	backed := op.RecvBuf != nil && op.RecvBuf.Backed()
+	for si, st := range steps {
+		if !st.Active {
+			continue
+		}
+		r.comm.telSteps.Inc()
+		var stepStart sim.Time
+		if traceSteps {
+			stepStart = p.Now()
+		}
+		if st.SendLen > 0 {
+			conn := cs.hd[ch][[2]int{r.rank, st.Peer}]
+			off, l := chStart+st.SendLo, st.SendLen
+			var data []float32
+			if backed {
+				data = append([]float32(nil), op.RecvBuf.Data()[off:off+l]...)
+			}
+			conn.SendTagged(l*4, data, nil, trace.FlowTag{
+				Comm: int32(r.comm.Info.ID), From: int32(r.rank), To: int32(st.Peer),
+				Channel: int32(ch), Gen: int32(r.gen), Step: int32(si),
+				Op: int32(op.Op), Seq: op.seq,
+			})
+		}
+		if st.RecvLen > 0 {
+			conn := cs.hd[ch][[2]int{st.Peer, r.rank}]
+			d := conn.Recv(p)
+			passes := 1.0
+			if st.RecvReduce {
+				passes = 2.0
+			}
+			p.Sleep(r.dev.TransferTime(st.RecvLen*4, passes))
+			if d.Data != nil && backed {
+				off := chStart + st.RecvLo
+				dst := op.RecvBuf.Data()[off : off+st.RecvLen]
+				if int64(len(d.Data)) != st.RecvLen {
+					panic(fmt.Sprintf("proxy: hd size mismatch: got %d elems, want %d", len(d.Data), st.RecvLen))
+				}
+				if st.RecvReduce {
+					for i := range dst {
+						dst[i] += d.Data[i]
+					}
+				} else {
+					copy(dst, d.Data)
+				}
+			}
+		}
+		if traceSteps {
+			rec.Emit(trace.Span{
+				Kind: trace.KindStep, Op: int32(op.Op),
+				Start: stepStart, End: p.Now(),
+				Host: int32(r.comm.Info.Ranks[r.rank].Host),
+				GPU:  int32(r.comm.Info.Ranks[r.rank].GPU),
+				Comm: int32(r.comm.Info.ID), Rank: int32(r.rank), Peer: int32(st.Peer),
+				Channel: int32(ch), Gen: int32(r.gen), Step: int32(si),
+				Seq: op.seq, Bytes: (st.SendLen + st.RecvLen) * 4,
+				Flow: -1, Src: -1, Dst: -1,
+			})
 		}
 	}
 }

@@ -171,12 +171,14 @@ type Comm struct {
 
 // connSet is one generation of connections: conns[ch][{from,to}] for both
 // ring directions of every channel, plus (when the strategy enables tree
-// collectives) the binomial-tree edges.
+// collectives) the binomial-tree edges and (when the strategy selects
+// halving-doubling) the per-channel butterfly edges.
 type connSet struct {
 	strategy spec.Strategy
 	rings    []*collective.Ring
 	conns    []map[[2]int]*transport.Conn // per channel: (from,to) -> conn
 	tree     map[[2]int]*transport.Conn   // (from,to) -> conn along tree edges
+	hd       []map[[2]int]*transport.Conn // per channel: (from,to) -> conn along hd edges
 }
 
 // NewComm wires up a communicator: control ring, generation-0 connections
@@ -280,6 +282,32 @@ func (c *Comm) connsFor(gen int, strategy spec.Strategy) (*connSet, error) {
 				}
 				cs.tree[key] = conn
 			}
+		}
+	}
+	if strategy.Algorithm == spec.AlgoHD && n > 1 {
+		// The halving-doubling butterfly needs its own edge set: XOR
+		// peers, not ring neighbors. Each channel gets its own directed
+		// connections so channel route pins apply to it exactly as they
+		// do to the rings.
+		for ci := range strategy.Channels {
+			m := make(map[[2]int]*transport.Conn)
+			for rank := 0; rank < n; rank++ {
+				for _, peer := range collective.HDPeers(n, rank) {
+					key := [2]int{rank, peer}
+					if _, dup := m[key]; dup {
+						continue
+					}
+					fi, ti := c.Info.Ranks[rank], c.Info.Ranks[peer]
+					route := strategy.RouteFor(spec.ConnKey{Channel: ci, FromRank: rank, ToRank: peer})
+					label := connLabel(c.cfg.LabelSalt, c.Info.ID, gen, (1<<21)+ci, rank, peer)
+					conn, err := c.engines[fi.Host].Connect(c.Info.App, fi.NIC, ti.NIC, route, label)
+					if err != nil {
+						return nil, fmt.Errorf("proxy: comm %d hd ch %d conn %d->%d: %w", c.Info.ID, ci, rank, peer, err)
+					}
+					m[key] = conn
+				}
+			}
+			cs.hd = append(cs.hd, m)
 		}
 	}
 	c.gens[gen] = cs
@@ -525,6 +553,11 @@ func (c *Comm) Destroy() {
 		for _, conn := range cs.tree {
 			conn.Close()
 		}
+		for _, chConns := range cs.hd {
+			for _, conn := range chConns {
+				conn.Close()
+			}
+		}
 	}
 	for _, conn := range c.p2p {
 		conn.Close()
@@ -636,6 +669,13 @@ func (r *Runner) reconfigure(p *sim.Proc, req *ReconfigRequest) {
 	for key, conn := range old.tree {
 		if key[0] == r.rank {
 			conn.Close()
+		}
+	}
+	for _, chConns := range old.hd {
+		for key, conn := range chConns {
+			if key[0] == r.rank {
+				conn.Close()
+			}
 		}
 	}
 	p.Sleep(r.comm.cfg.ConnTeardown)

@@ -49,6 +49,29 @@ type ConnKey struct {
 	ToRank   int
 }
 
+// Algorithm selects the dense AllReduce algorithm a strategy executes
+// for messages above the tree threshold.
+type Algorithm int
+
+const (
+	// AlgoRing is the default: ring AllReduce over the strategy's
+	// channels, 2(n-1) steps.
+	AlgoRing Algorithm = iota
+	// AlgoHD is recursive halving-doubling (Rabenseifner): ring-class
+	// traffic in 2·log2(n)-class rounds. Applies to AllReduce; other
+	// ops keep their ring schedules.
+	AlgoHD
+)
+
+var algorithmNames = [...]string{"ring", "hd"}
+
+func (a Algorithm) String() string {
+	if int(a) < len(algorithmNames) {
+		return algorithmNames[a]
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
 // Strategy is the provider-chosen collective configuration of one
 // communicator: the ring order and route of every channel, plus optional
 // per-connection route overrides (the FFA output).
@@ -63,6 +86,12 @@ type Strategy struct {
 	// instead of 2(n-1) steps, the latency/bandwidth trade NCCL also
 	// makes. Zero disables tree collectives.
 	TreeThreshold int64
+	// Algorithm selects the dense AllReduce schedule (ring by default,
+	// halving-doubling when AlgoHD). Channel count and routes apply to
+	// either: halving-doubling splits the buffer across channels exactly
+	// like the rings do, and channel c's inter-host connections use
+	// channel c's route pin.
+	Algorithm Algorithm
 }
 
 // RouteFor resolves the route index for a connection.
@@ -78,7 +107,11 @@ func (s *Strategy) RouteFor(k ConnKey) int {
 
 // Clone deep-copies the strategy.
 func (s *Strategy) Clone() Strategy {
-	c := Strategy{Channels: make([]ChannelSpec, len(s.Channels)), TreeThreshold: s.TreeThreshold}
+	c := Strategy{
+		Channels:      make([]ChannelSpec, len(s.Channels)),
+		TreeThreshold: s.TreeThreshold,
+		Algorithm:     s.Algorithm,
+	}
 	for i, ch := range s.Channels {
 		c.Channels[i] = ChannelSpec{Order: append([]int(nil), ch.Order...), Route: ch.Route}
 	}
@@ -107,6 +140,9 @@ func (s *Strategy) Validate(nranks int) error {
 			}
 			seen[r] = true
 		}
+	}
+	if s.Algorithm != AlgoRing && s.Algorithm != AlgoHD {
+		return fmt.Errorf("spec: unknown algorithm %d", int(s.Algorithm))
 	}
 	return nil
 }

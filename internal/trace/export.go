@@ -160,6 +160,8 @@ func threadKey(sp *Span, m *Meta) string {
 		return fmt.Sprintf("intra nic%d>nic%d", sp.Src, sp.Dst)
 	case KindKernel:
 		return fmt.Sprintf("gpu%d s%d", sp.GPU, sp.Flow)
+	case KindTuner:
+		return fmt.Sprintf("tuner c%d", sp.Comm)
 	default:
 		return "misc"
 	}
@@ -199,6 +201,11 @@ func eventName(sp *Span) string {
 			return sp.Label
 		}
 		return "kernel"
+	case KindTuner:
+		if sp.Label != "" {
+			return "tune:" + sp.Label
+		}
+		return "tuner"
 	default:
 		return sp.Kind.String()
 	}

@@ -68,9 +68,14 @@ const (
 	KindXfer
 	// KindKernel is a simulated GPU kernel on one stream.
 	KindKernel
+	// KindTuner is one strategy-autotuning decision: candidate scoring
+	// spans (Label = candidate name, Flow = predicted nanoseconds) and
+	// the install/achieved records the tuner emits so traces show why a
+	// strategy was picked.
+	KindTuner
 )
 
-var kindNames = [...]string{"op", "step", "barrier", "p2p", "cmd", "flow", "xfer", "kernel"}
+var kindNames = [...]string{"op", "step", "barrier", "p2p", "cmd", "flow", "xfer", "kernel", "tuner"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {

@@ -1,0 +1,303 @@
+package tuner
+
+import (
+	"time"
+
+	"mccs/internal/collective"
+	"mccs/internal/netsim"
+	"mccs/internal/spec"
+	"mccs/internal/topo"
+)
+
+// Model is the α-β cost model: per-round latency (α), per-byte transfer
+// time (β, derived from link capacities under contention), and a fixed
+// per-operation overhead. It is evaluated against the real cluster graph
+// — the same equal-cost paths the proxy pins connections to — so the
+// predicted ordering of candidates tracks what the packet-level
+// simulation will actually measure.
+type Model struct {
+	// Cluster supplies the fabric graph and NIC affinities.
+	Cluster *topo.Cluster
+	// Alpha is the per-step/round latency: propagation plus the proxy's
+	// per-message handling.
+	Alpha time.Duration
+	// Fixed is the per-operation overhead paid once regardless of
+	// strategy: command dispatch, kernel launch, completion signaling.
+	Fixed time.Duration
+	// IntraBps is the intra-host channel bandwidth (bytes/sec) used for
+	// same-host hops that never touch the fabric.
+	IntraBps float64
+	// ECMPDiscount (0 < d <= 1) penalizes unpinned connections for hash
+	// collisions the model cannot see. 1 means "trust ECMP fully".
+	ECMPDiscount float64
+	// ExtLoad, when non-nil, returns the external (non-collective)
+	// bytes/sec already consuming a link — background tenants' traffic,
+	// which the provider can observe and the tenant cannot. Nil means an
+	// idle fabric.
+	ExtLoad func(netsim.LinkID) float64
+}
+
+// DefaultModel returns a model with the stack's stock timing constants.
+// The policy controller overrides the fields from the deployment's actual
+// configuration before searching.
+func DefaultModel(c *topo.Cluster) *Model {
+	return &Model{
+		Cluster:      c,
+		Alpha:        8 * time.Microsecond,
+		Fixed:        75 * time.Microsecond,
+		IntraBps:     c.IntraHostBps,
+		ECMPDiscount: 0.85,
+	}
+}
+
+// conn is one directed transfer in a phase of the modeled schedule.
+type conn struct {
+	from, to int // ranks
+	route    int // pin index, or spec.RouteECMP
+	bytes    float64
+}
+
+// minBps floors available capacity so a fully stolen link predicts "very
+// slow", not a division by zero.
+const minBps = 1.0
+
+// rates computes the bytes/sec each connection achieves when all conns
+// run concurrently: links are loaded by every pinned path (weight 1) and
+// every ECMP path (weight 1/npaths), then each conn is bottlenecked by
+// the most loaded link on its path(s). This mirrors the max-min water
+// fill of the simulator closely enough to rank strategies.
+func (m *Model) rates(info *spec.CommInfo, conns []conn) []float64 {
+	load := make(map[netsim.LinkID]float64)
+	paths := make([][][]netsim.LinkID, len(conns))
+	for i, c := range conns {
+		a, b := info.Ranks[c.from], info.Ranks[c.to]
+		if a.Host == b.Host {
+			continue
+		}
+		ps := m.Cluster.PathsBetweenNICs(a.NIC, b.NIC)
+		paths[i] = ps
+		if c.route >= 0 {
+			for _, l := range ps[c.route%len(ps)] {
+				load[l]++
+			}
+		} else {
+			w := 1.0 / float64(len(ps))
+			for _, p := range ps {
+				for _, l := range p {
+					load[l] += w
+				}
+			}
+		}
+	}
+	avail := func(l netsim.LinkID) float64 {
+		a := m.Cluster.Net.Link(l).Capacity
+		if m.ExtLoad != nil {
+			a -= m.ExtLoad(l)
+		}
+		if a < minBps {
+			a = minBps
+		}
+		return a
+	}
+	out := make([]float64, len(conns))
+	for i, c := range conns {
+		if paths[i] == nil {
+			out[i] = m.IntraBps
+			continue
+		}
+		ps := paths[i]
+		if c.route >= 0 {
+			p := ps[c.route%len(ps)]
+			r := 1e300
+			for _, l := range p {
+				if v := avail(l) / load[l]; v < r {
+					r = v
+				}
+			}
+			out[i] = r
+			continue
+		}
+		// ECMP: expected rate over hash outcomes. Conditioned on landing
+		// on path p, the conn loads p's links with weight 1 while every
+		// other conn stays at its expected share; averaging the resulting
+		// bottleneck over paths prices in the self-collisions a plain
+		// expected-share load washes out (two flows hashed onto two
+		// uplinks really do collide half the time). The residual discount
+		// covers imbalance the expectation still can't see.
+		w := 1.0 / float64(len(ps))
+		own := make(map[netsim.LinkID]float64, 8)
+		for _, p := range ps {
+			for _, l := range p {
+				own[l] += w
+			}
+		}
+		sum := 0.0
+		for _, p := range ps {
+			r := 1e300
+			for _, l := range p {
+				if v := avail(l) / (load[l] - own[l] + 1); v < r {
+					r = v
+				}
+			}
+			sum += r
+		}
+		out[i] = m.ECMPDiscount * sum / float64(len(ps))
+	}
+	return out
+}
+
+// Predict estimates the completion time of op moving bytes (output bytes,
+// as in AlgBW) under strategy st. Dispatch mirrors the proxy exactly:
+// trivial communicator, then tree below threshold, then halving-doubling
+// for AllReduce under AlgoHD, then rings.
+func (m *Model) Predict(info *spec.CommInfo, st *spec.Strategy, op collective.Op, bytes int64) time.Duration {
+	n := info.NumRanks()
+	if n <= 1 {
+		return m.Fixed
+	}
+	if st.TreeThreshold > 0 && bytes < st.TreeThreshold && treeOp(op) {
+		return m.Fixed + m.predictTree(info, st, op, bytes)
+	}
+	if op == collective.AllReduce && st.Algorithm == spec.AlgoHD {
+		return m.Fixed + m.predictHD(info, st, bytes)
+	}
+	return m.Fixed + m.predictRing(info, st, op, bytes)
+}
+
+func treeOp(op collective.Op) bool {
+	switch op {
+	case collective.AllReduce, collective.Broadcast, collective.Reduce:
+		return true
+	}
+	return false
+}
+
+// predictRing models the pipelined ring schedules: every channel runs its
+// steps concurrently, a channel advances at the rate of its slowest
+// connection, and the op finishes when the slowest channel does.
+func (m *Model) predictRing(info *spec.CommInfo, st *spec.Strategy, op collective.Op, bytes int64) time.Duration {
+	n := info.NumRanks()
+	nch := len(st.Channels)
+	var steps int
+	var stepBytes float64
+	switch op {
+	case collective.AllReduce:
+		steps, stepBytes = 2*(n-1), float64(bytes)/float64(n*nch)
+	case collective.AllGather, collective.ReduceScatter:
+		steps, stepBytes = n-1, float64(bytes)/float64(n*nch)
+	default: // Broadcast, Reduce: the whole buffer hops along the chain.
+		steps, stepBytes = n-1, float64(bytes)/float64(nch)
+	}
+	// All channels' forward connections are concurrently active.
+	var conns []conn
+	chFirst := make([]int, nch) // index of channel ci's first conn
+	for ci, ch := range st.Channels {
+		chFirst[ci] = len(conns)
+		for pos, from := range ch.Order {
+			to := ch.Order[(pos+1)%n]
+			conns = append(conns, conn{
+				from: from, to: to,
+				route: st.RouteFor(spec.ConnKey{Channel: ci, FromRank: from, ToRank: to}),
+				bytes: stepBytes,
+			})
+		}
+	}
+	rs := m.rates(info, conns)
+	worst := time.Duration(0)
+	for ci := range st.Channels {
+		min := rs[chFirst[ci]]
+		for i := chFirst[ci] + 1; i < chFirst[ci]+n; i++ {
+			if rs[i] < min {
+				min = rs[i]
+			}
+		}
+		t := time.Duration(steps) * (m.Alpha + seconds(stepBytes/min))
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// predictTree models the binomial tree at root 0 (the provisioned tree):
+// rounds are barriers, each round costs α plus the slowest of its
+// concurrent full-buffer transfers.
+func (m *Model) predictTree(info *spec.CommInfo, st *spec.Strategy, op collective.Op, bytes int64) time.Duration {
+	n := info.NumRanks()
+	var perRound [][]conn
+	for rank := 0; rank < n; rank++ {
+		rounds, err := collective.TreeRoundsFor(op, n, rank, 0)
+		if err != nil {
+			return m.predictRing(info, st, op, bytes)
+		}
+		for ri, rd := range rounds {
+			if !rd.Active || !rd.T.Send {
+				continue
+			}
+			for len(perRound) <= ri {
+				perRound = append(perRound, nil)
+			}
+			perRound[ri] = append(perRound[ri], conn{
+				from: rank, to: rd.T.Peer,
+				route: st.RouteFor(spec.ConnKey{Channel: 0, FromRank: rank, ToRank: rd.T.Peer}),
+				bytes: float64(bytes),
+			})
+		}
+	}
+	var total time.Duration
+	for _, conns := range perRound {
+		total += m.Alpha + slowest(m, info, conns)
+	}
+	return total
+}
+
+// predictHD models recursive halving-doubling: per channel the exact
+// per-round byte counts come from the real schedule, rounds are
+// barriers, and channels run concurrently within each round.
+func (m *Model) predictHD(info *spec.CommInfo, st *spec.Strategy, bytes int64) time.Duration {
+	n := info.NumRanks()
+	nch := len(st.Channels)
+	count := bytes / 4 // float32 elements
+	_, chLens := collective.Regions(count, nch)
+	rounds := collective.HDRounds(n)
+	perRound := make([][]conn, rounds)
+	for ci := 0; ci < nch; ci++ {
+		for rank := 0; rank < n; rank++ {
+			for ri, step := range collective.HDSchedule(n, chLens[ci], rank) {
+				if !step.Active || step.SendLen == 0 {
+					continue
+				}
+				perRound[ri] = append(perRound[ri], conn{
+					from: rank, to: step.Peer,
+					route: st.RouteFor(spec.ConnKey{Channel: ci, FromRank: rank, ToRank: step.Peer}),
+					bytes: float64(step.SendLen * 4),
+				})
+			}
+		}
+	}
+	var total time.Duration
+	for _, conns := range perRound {
+		total += m.Alpha + slowest(m, info, conns)
+	}
+	return total
+}
+
+// slowest returns the transfer time of the slowest connection when all of
+// conns run concurrently.
+func slowest(m *Model, info *spec.CommInfo, conns []conn) time.Duration {
+	if len(conns) == 0 {
+		return 0
+	}
+	rs := m.rates(info, conns)
+	worst := time.Duration(0)
+	for i, c := range conns {
+		if t := seconds(c.bytes / rs[i]); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
