@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt test vet race race-hot check chaos bench bench-json trace telemetry
+.PHONY: all build fmt test vet race race-hot check chaos bench bench-json trace telemetry churn
 
 all: check
 
@@ -24,10 +24,11 @@ race:
 	$(GO) test -race ./...
 
 # race-hot doubles down on the packages with the most schedule-sensitive
-# surface — the collective schedule generators, the proxy engine, and
-# the strategy autotuner — running them twice under the detector.
+# surface — the collective schedule generators, the proxy engine, the
+# strategy autotuner, and the lifecycle orchestrator — running them
+# twice under the detector.
 race-hot:
-	$(GO) test -race -count=2 ./internal/collective/ ./internal/proxy/ ./internal/tuner/
+	$(GO) test -race -count=2 ./internal/collective/ ./internal/proxy/ ./internal/tuner/ ./internal/orchestrator/
 
 # check is the CI gate: everything must build, vet clean, and pass the
 # full test suite twice — once plain, once under the race detector.
@@ -60,3 +61,11 @@ trace:
 telemetry:
 	$(GO) run ./cmd/mccs-reconfig -run 6s -bg 2s -reconfig 4s -telemetry reconfig.telemetry.jsonl
 	$(GO) run ./cmd/mccs-top reconfig.telemetry.jsonl
+
+# churn runs the tenant-lifecycle smoke (DESIGN.md §13): the default
+# 8-job seeded arrival stream with churn-triggered reconfiguration,
+# printing per-job JCT/queueing delay and writing the sampled telemetry
+# series CI uploads as an artifact.
+churn:
+	$(GO) run ./cmd/mccs-churn -telemetry churn.telemetry.jsonl
+	$(GO) run ./cmd/mccs-top churn.telemetry.jsonl

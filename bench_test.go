@@ -386,3 +386,24 @@ func BenchmarkAblationAlgorithms(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSchedChurn measures the tenant-lifecycle orchestrator
+// (DESIGN.md §13): the default 8-job churn stream over the Fig. 6
+// testbed with churn-triggered FFA reconfiguration, reporting the
+// virtual makespan, cluster GPU utilization, and how many policy
+// recomputes churn triggered.
+func BenchmarkSchedChurn(b *testing.B) {
+	b.Run("sched-churn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := harness.RunChurn(harness.DefaultChurnConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(res.Makespan)/1e6, "makespan-ms")
+				b.ReportMetric(res.Utilization*100, "gpu-util-%")
+				b.ReportMetric(float64(res.Reconfigs), "reconfigs")
+			}
+		}
+	})
+}

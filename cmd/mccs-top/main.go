@@ -1,9 +1,16 @@
 // mccs-top renders a cluster operator's view of an MCCS telemetry
-// series: per-tenant goodput, the busiest fabric links, and the SLO
-// violations the run produced. It reads a JSONL file exported with
-// -telemetry (mccs-reconfig, mccs-bench, mccs-multi) or, with -live,
-// runs the contended Fig. 7 reconfiguration scenario itself and renders
-// the resulting series.
+// series: per-tenant goodput, the scheduler's lifecycle counters, the
+// busiest fabric links, and the SLO violations the run produced. It
+// reads a JSONL file exported with -telemetry (mccs-reconfig,
+// mccs-bench, mccs-multi, mccs-churn) or, with -live, runs a scenario
+// itself — the contended Fig. 7 reconfiguration by default, the tenant
+// churn experiment with -scenario churn — and renders the resulting
+// series.
+//
+// Sections always render in a fixed order — TENANT, SCHED, TUNER,
+// BUSIEST LINKS, SLO VIOLATIONS — and the tenant-keyed sections share
+// one first-column width, so the layout is identical whether a series
+// comes from a file or a -live run and whichever sections have data.
 package main
 
 import (
@@ -20,7 +27,8 @@ import (
 )
 
 func main() {
-	live := flag.Bool("live", false, "run the contended reconfiguration scenario instead of reading a file")
+	live := flag.Bool("live", false, "run a scenario instead of reading a file")
+	scenario := flag.String("scenario", "reconfig", "-live scenario: reconfig (contended Fig. 7) or churn (tenant lifecycle)")
 	lastN := flag.Int("last", 0, "compute rates over the last N samples only (0 = whole series)")
 	topLinks := flag.Int("links", 6, "busiest links to show")
 	topViol := flag.Int("violations", 8, "most recent SLO violations to show")
@@ -30,16 +38,30 @@ func main() {
 	var se *telemetry.Series
 	switch {
 	case *live:
-		cfg := harness.DefaultReconfigConfig()
-		cfg.TelemetryEvery = *every
-		if cfg.TelemetryEvery <= 0 {
-			cfg.TelemetryEvery = telemetry.DefaultInterval
+		interval := *every
+		if interval <= 0 {
+			interval = telemetry.DefaultInterval
 		}
-		res, err := harness.RunReconfigShowcase(cfg)
-		if err != nil {
-			log.Fatal(err)
+		switch *scenario {
+		case "reconfig":
+			cfg := harness.DefaultReconfigConfig()
+			cfg.TelemetryEvery = interval
+			res, err := harness.RunReconfigShowcase(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			se = res.Telemetry
+		case "churn":
+			cfg := harness.DefaultChurnConfig()
+			cfg.TelemetryEvery = interval
+			res, err := harness.RunChurn(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			se = res.Telemetry
+		default:
+			log.Fatalf("unknown -scenario %q (reconfig or churn)", *scenario)
 		}
-		se = res.Telemetry
 	case flag.NArg() == 1:
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
@@ -86,10 +108,28 @@ func render(w io.Writer, se *telemetry.Series, opt options) {
 	fmt.Fprintf(w, "mccs-top: %d samples every %v, window [%.3fs, %.3fs]\n",
 		len(se.Samples), time.Duration(se.Interval), first.T.Seconds(), last.T.Seconds())
 
-	renderTenants(w, se, s)
-	renderTuner(w, se, s)
+	lw := labelWidth(se)
+	renderTenants(w, se, s, lw)
+	renderSched(w, se, s, lw)
+	renderTuner(w, se, s, lw)
 	renderLinks(w, se, s, opt.topLinks)
 	renderViolations(w, se, opt.topViolations)
+}
+
+// labelWidth is the shared first-column width of the tenant-keyed
+// sections (TENANT, SCHED, TUNER): wide enough for the longest tenant
+// name in the series, never narrower than the section titles, so the
+// sections line up no matter which of them have data.
+func labelWidth(se *telemetry.Series) int {
+	w := 12
+	for i := range se.Cols {
+		for _, l := range se.Cols[i].Labels {
+			if l.Key == "tenant" && len(l.Value) > w {
+				w = len(l.Value)
+			}
+		}
+	}
+	return w
 }
 
 // tunerRow is one tenant's autotuner decision: the installed strategy
@@ -142,20 +182,20 @@ func tunerRows(se *telemetry.Series, s []telemetry.Sample) []tunerRow {
 	return rows
 }
 
-func renderTuner(w io.Writer, se *telemetry.Series, s []telemetry.Sample) {
+func renderTuner(w io.Writer, se *telemetry.Series, s []telemetry.Sample, lw int) {
 	rows := tunerRows(se, s)
 	if len(rows) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "\n%-12s %-28s %9s %13s %13s\n",
-		"TUNER", "STRATEGY", "SEARCHES", "PREDICTED ms", "ACHIEVED ms")
+	fmt.Fprintf(w, "\n%-*s %-28s %9s %13s %13s\n",
+		lw, "TUNER", "STRATEGY", "SEARCHES", "PREDICTED ms", "ACHIEVED ms")
 	for _, r := range rows {
 		strat := r.Strategy
 		if strat == "" {
 			strat = "-"
 		}
-		fmt.Fprintf(w, "%-12s %-28s %9.0f %13.3f %13.3f\n",
-			r.Tenant, strat, r.Searches, r.Predicted*1e3, r.Achieved*1e3)
+		fmt.Fprintf(w, "%-*s %-28s %9.0f %13.3f %13.3f\n",
+			lw, r.Tenant, strat, r.Searches, r.Predicted*1e3, r.Achieved*1e3)
 	}
 }
 
@@ -207,16 +247,77 @@ func tenantRows(se *telemetry.Series, s []telemetry.Sample) []tenantRow {
 	return rows
 }
 
-func renderTenants(w io.Writer, se *telemetry.Series, s []telemetry.Sample) {
+func renderTenants(w io.Writer, se *telemetry.Series, s []telemetry.Sample, lw int) {
 	rows := tenantRows(se, s)
 	if len(rows) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "\n%-12s %14s %10s %10s %11s\n", "TENANT", "GOODPUT GB/s", "OPS", "RECONFIGS", "VIOLATIONS")
+	fmt.Fprintf(w, "\n%-*s %14s %10s %10s %11s\n", lw, "TENANT", "GOODPUT GB/s", "OPS", "RECONFIGS", "VIOLATIONS")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s %14.2f %10.0f %10.0f %11d\n",
-			r.Tenant, r.GoodputBps/1e9, r.Ops, r.Reconfigs, r.Violations)
+		fmt.Fprintf(w, "%-*s %14.2f %10.0f %10.0f %11d\n",
+			lw, r.Tenant, r.GoodputBps/1e9, r.Ops, r.Reconfigs, r.Violations)
 	}
+}
+
+// schedView is the scheduler's end-of-window state, read off the
+// mccs_sched_* families the orchestrator exports.
+type schedView struct {
+	Running, Queued, Busy    float64 // gauges at the last sample
+	Done, Rejects, Reconfigs float64 // counters at the last sample
+	AvgWaitSec               float64 // queue-wait integral over placements
+	Host, Rack, Cross        float64 // placements by locality
+	present                  bool
+}
+
+// schedRows reads the orchestrator view; present is false when the
+// series has no scheduler metrics (runs without an orchestrator).
+func schedRows(se *telemetry.Series, s []telemetry.Sample) schedView {
+	last := s[len(s)-1]
+	var v schedView
+	one := func(name string) float64 {
+		cols := se.FindCols(name)
+		if len(cols) == 0 {
+			return 0
+		}
+		v.present = true
+		return se.Value(last, cols[0])
+	}
+	v.Running = one("mccs_sched_jobs_running")
+	v.Queued = one("mccs_sched_jobs_queued")
+	v.Busy = one("mccs_sched_gpus_busy")
+	v.Done = one("mccs_sched_jobs_completed_total")
+	v.Rejects = one("mccs_sched_admission_rejects_total")
+	v.Reconfigs = one("mccs_sched_reconfigs_total")
+	wait := one("mccs_sched_queue_wait_seconds")
+	for _, c := range se.FindCols("mccs_sched_placements_total", telemetry.L("locality", "")) {
+		v.present = true
+		n := se.Value(last, c)
+		switch se.LabelValue(c, "locality") {
+		case "host":
+			v.Host = n
+		case "rack":
+			v.Rack = n
+		case "cross-rack":
+			v.Cross = n
+		}
+	}
+	if placed := v.Host + v.Rack + v.Cross; placed > 0 {
+		v.AvgWaitSec = wait / placed
+	}
+	return v
+}
+
+func renderSched(w io.Writer, se *telemetry.Series, s []telemetry.Sample, lw int) {
+	v := schedRows(se, s)
+	if !v.present {
+		return
+	}
+	fmt.Fprintf(w, "\n%-*s %8s %8s %8s %8s %8s %10s %12s\n",
+		lw, "SCHED", "RUNNING", "QUEUED", "BUSY", "DONE", "REJECTS", "RECONFIGS", "AVG WAIT ms")
+	fmt.Fprintf(w, "%-*s %8.0f %8.0f %8.0f %8.0f %8.0f %10.0f %12.3f\n",
+		lw, "jobs", v.Running, v.Queued, v.Busy, v.Done, v.Rejects, v.Reconfigs, v.AvgWaitSec*1e3)
+	fmt.Fprintf(w, "%-*s host %.0f / rack %.0f / cross-rack %.0f\n",
+		lw, "placements", v.Host, v.Rack, v.Cross)
 }
 
 // linkRow is one fabric link's utilization over the window.

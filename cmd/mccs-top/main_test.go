@@ -137,6 +137,121 @@ func TestRenderEmpty(t *testing.T) {
 	}
 }
 
+// schedSeries extends the synthetic series with the orchestrator's
+// mccs_sched_* families and a tenant name wider than the default
+// first column, so the snapshot exercises every section at once plus
+// the shared-width rule.
+func schedSeries() *telemetry.Series {
+	se := synthetic()
+	// Rename tenant "b" to something wider than the 12-char default so
+	// all tenant-keyed sections must stretch together.
+	for i := range se.Cols {
+		for j, l := range se.Cols[i].Labels {
+			if l.Key == "tenant" && l.Value == "b" {
+				se.Cols[i].Labels[j].Value = "tenant-long-name"
+			}
+		}
+	}
+	se.Violations[0].Tenant = "tenant-long-name"
+	sched := []telemetry.Column{
+		{Name: "mccs_sched_jobs_running", Unit: "jobs", Kind: "gauge"},
+		{Name: "mccs_sched_jobs_queued", Unit: "jobs", Kind: "gauge"},
+		{Name: "mccs_sched_gpus_busy", Unit: "gpus", Kind: "gauge"},
+		{Name: "mccs_sched_jobs_completed_total", Unit: "jobs", Kind: "counter"},
+		{Name: "mccs_sched_admission_rejects_total", Unit: "jobs", Kind: "counter"},
+		{Name: "mccs_sched_reconfigs_total", Unit: "reconfigs", Kind: "counter"},
+		{Name: "mccs_sched_queue_wait_seconds", Unit: "seconds", Kind: "counter"},
+		{Name: "mccs_sched_placements_total", Unit: "jobs", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("locality", "host")}},
+		{Name: "mccs_sched_placements_total", Unit: "jobs", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("locality", "rack")}},
+		{Name: "mccs_sched_placements_total", Unit: "jobs", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("locality", "cross-rack")}},
+	}
+	se.Cols = append(se.Cols, sched...)
+	tail := [][]float64{
+		{1, 0, 2, 0, 0, 0, 0, 1, 0, 0},
+		{2, 1, 6, 1, 0, 1, 0.015, 2, 1, 0},
+		{2, 1, 6, 3, 1, 2, 0.030, 2, 1, 1},
+	}
+	for i := range se.Samples {
+		se.Samples[i].V = append(se.Samples[i].V, tail[i]...)
+	}
+	return se
+}
+
+func TestSchedRows(t *testing.T) {
+	se := schedSeries()
+	v := schedRows(se, se.Samples)
+	if !v.present {
+		t.Fatal("sched metrics not detected")
+	}
+	if v.Running != 2 || v.Queued != 1 || v.Busy != 6 {
+		t.Errorf("gauges = %g/%g/%g, want 2/1/6", v.Running, v.Queued, v.Busy)
+	}
+	if v.Done != 3 || v.Rejects != 1 || v.Reconfigs != 2 {
+		t.Errorf("counters = %g/%g/%g, want 3/1/2", v.Done, v.Rejects, v.Reconfigs)
+	}
+	if v.Host != 2 || v.Rack != 1 || v.Cross != 1 {
+		t.Errorf("placements = %g/%g/%g, want 2/1/1", v.Host, v.Rack, v.Cross)
+	}
+	// 30ms of cumulative queue wait over 4 placements.
+	if math.Abs(v.AvgWaitSec-0.0075) > 1e-12 {
+		t.Errorf("avg wait = %g, want 0.0075", v.AvgWaitSec)
+	}
+	if w := schedRows(synthetic(), synthetic().Samples); w.present {
+		t.Error("sched view present in a series with no orchestrator metrics")
+	}
+}
+
+// TestRenderAllSectionsSnapshot pins the whole operator view byte for
+// byte: section order (TENANT, SCHED, TUNER, BUSIEST LINKS, SLO
+// VIOLATIONS), the shared first-column width across the tenant-keyed
+// sections, and every derived number. A layout change must update this
+// golden deliberately.
+func TestRenderAllSectionsSnapshot(t *testing.T) {
+	var b strings.Builder
+	render(&b, schedSeries(), options{topLinks: 5, topViolations: 5})
+	want := `mccs-top: 3 samples every 1s, window [0.000s, 2.000s]
+
+TENANT             GOODPUT GB/s        OPS  RECONFIGS  VIOLATIONS
+a                          2.00         20          0           0
+tenant-long-name           1.00          0          0           1
+
+SCHED             RUNNING   QUEUED     BUSY     DONE  REJECTS  RECONFIGS  AVG WAIT ms
+jobs                    2        1        6        3        1          2        7.500
+placements       host 2 / rack 1 / cross-rack 1
+
+TUNER            STRATEGY                      SEARCHES  PREDICTED ms   ACHIEVED ms
+a                ring/locality/ch2/pin                2        12.000        13.000
+
+BUSIEST LINKS              CAP Gb/s     UTIL   EXTERNAL
+l0                              100    90.0%      40.0%
+l1                              100    20.0%       0.0%
+
+SLO VIOLATIONS: 1
+T          TENANT       LINK                       ACHVD GB/s   ENTLD GB/s DEFICIT GB/s
+    1.000s tenant-long-name l0                               1.00         6.25         5.25
+`
+	if got := b.String(); got != want {
+		t.Errorf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRenderSchedAbsent checks runs without an orchestrator keep their
+// old layout: no SCHED section, 12-char first column.
+func TestRenderSchedAbsent(t *testing.T) {
+	var b strings.Builder
+	render(&b, synthetic(), options{topLinks: 5, topViolations: 5})
+	out := b.String()
+	if strings.Contains(out, "SCHED") {
+		t.Errorf("SCHED rendered without orchestrator metrics:\n%s", out)
+	}
+	if !strings.Contains(out, "TENANT         GOODPUT") {
+		t.Errorf("default 12-char first column lost:\n%s", out)
+	}
+}
+
 func TestWindowLastN(t *testing.T) {
 	se := synthetic()
 	w := window(se, 2)

@@ -55,6 +55,14 @@ type Scenario struct {
 	// under whatever fabric state the other faults have created and
 	// installs the winner mid-collective.
 	Autotunes int
+	// Churn is how many orchestrator-driven tenant jobs arrive, run and
+	// tear down during the run (a dedicated PRNG stream draws their
+	// arrival times, sizes and traces). Every arrival and departure
+	// triggers a policy recompute against the live deployment — the
+	// scripted workload's communicator included — and the post-run
+	// invariants additionally require that no job leaks engines, flows
+	// or capacity after teardown.
+	Churn int
 
 	// Horizon is the virtual-time window faults are scheduled in. All
 	// injectors are time-bounded so the simulation always drains.
@@ -122,9 +130,24 @@ func AutotuneChurn() Scenario {
 	}
 }
 
+// OrchestratorChurn is the lifecycle scenario: tenant jobs arrive, get
+// placed, run and tear down while the scripted workload streams, with
+// every arrival and departure kicking a policy recompute through the
+// reconfiguration barrier. It exercises the teardown/reconfigure
+// mutual exclusion and the capacity-return path under a fuzzed
+// schedule and jittered sends.
+func OrchestratorChurn() Scenario {
+	return Scenario{
+		Name:  "orchestrator-churn",
+		Ranks: 4, Ops: 6, MaxCount: 2048, Depth: 2,
+		Churn: 5, SendDelays: true,
+		Horizon: 10 * time.Millisecond,
+	}
+}
+
 // Scenarios returns the standard sweep set.
 func Scenarios() []Scenario {
-	return []Scenario{LinkFlap(), Straggler(), ReconfigStorm(), AutotuneChurn()}
+	return []Scenario{LinkFlap(), Straggler(), ReconfigStorm(), AutotuneChurn(), OrchestratorChurn()}
 }
 
 // TraceEntry is one scheduler event in the deterministic event trace:

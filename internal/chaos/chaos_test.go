@@ -45,6 +45,28 @@ func TestChaosCatchesWeakenedProtocol(t *testing.T) {
 	t.Logf("weakened protocol detected in %d/%d seeds; first: %v", len(fails), len(sw.Results), fails[0])
 }
 
+// TestOrchestratorChurnScenario spot-checks the lifecycle scenario
+// beyond the sweep: seeds must pass every invariant (including the
+// churn leak checks), and different seeds must draw different schedules
+// from the dedicated churn stream.
+func TestOrchestratorChurnScenario(t *testing.T) {
+	sc := OrchestratorChurn()
+	if sc.Churn == 0 {
+		t.Fatal("orchestrator-churn preset submits no jobs")
+	}
+	a := RunSeed(sc, 11)
+	if a.Failed() {
+		t.Fatalf("seed 11: %v", a)
+	}
+	b := RunSeed(sc, 12)
+	if b.Failed() {
+		t.Fatalf("seed 12: %v", b)
+	}
+	if a.TraceHash == b.TraceHash {
+		t.Fatal("different seeds produced identical schedules; the churn stream is not being drawn")
+	}
+}
+
 // TestScenarioShapes sanity-checks the preset catalog.
 func TestScenarioShapes(t *testing.T) {
 	scs := Scenarios()

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"mccs/internal/harness"
+	"mccs/internal/orchestrator"
 	"mccs/internal/spec"
 	"mccs/internal/telemetry"
 )
@@ -43,9 +44,13 @@ func (l *ledger) observe(comm spec.CommID, rank, gen int, seq uint64) {
 	l.gens[k] = gen
 }
 
-// check verifies the generation-agreement invariant for nRanks ranks and
-// wantOps collectives per rank.
-func (l *ledger) check(nRanks, wantOps int) error {
+// check verifies the generation-agreement invariant. The scripted
+// workload's communicator (script) must have executed exactly wantOps
+// collectives across all nRanks ranks; any other communicator — churn
+// tenants come and go, so their op counts vary — is held to the same
+// agreement rules over its own (inferred) rank set: every sequence
+// number executed on a contiguous rank set 0..n-1 under one generation.
+func (l *ledger) check(nRanks, wantOps int, script spec.CommID) error {
 	if len(l.errs) > 0 {
 		return errors.New(strings.Join(l.errs, "; "))
 	}
@@ -54,17 +59,21 @@ func (l *ledger) check(nRanks, wantOps int) error {
 		seq  uint64
 	}
 	byOp := make(map[seqKey]map[int]int)
+	scriptOps := 0
 	for k, gen := range l.gens {
 		sk := seqKey{comm: k.comm, seq: k.seq}
 		m := byOp[sk]
 		if m == nil {
 			m = make(map[int]int)
 			byOp[sk] = m
+			if sk.comm == script {
+				scriptOps++
+			}
 		}
 		m[k.rank] = gen
 	}
-	if len(byOp) != wantOps {
-		return fmt.Errorf("%d distinct collectives executed, want %d", len(byOp), wantOps)
+	if scriptOps != wantOps {
+		return fmt.Errorf("%d distinct collectives executed on the script communicator, want %d", scriptOps, wantOps)
 	}
 	keys := make([]seqKey, 0, len(byOp))
 	for sk := range byOp {
@@ -78,11 +87,15 @@ func (l *ledger) check(nRanks, wantOps int) error {
 	})
 	for _, sk := range keys {
 		m := byOp[sk]
+		n := nRanks
+		if sk.comm != script {
+			n = len(m)
+		}
 		want, ok := m[0]
 		if !ok {
 			return fmt.Errorf("comm %d seq %d never executed on rank 0", sk.comm, sk.seq)
 		}
-		for r := 0; r < nRanks; r++ {
+		for r := 0; r < n; r++ {
 			g, ok := m[r]
 			if !ok {
 				return fmt.Errorf("comm %d seq %d never executed on rank %d", sk.comm, sk.seq, r)
@@ -105,8 +118,11 @@ func (l *ledger) check(nRanks, wantOps int) error {
 //   - every collective's output matched the reference executor;
 //   - generation agreement (ledger.check);
 //   - quiescence: no leaked managed flows on the fabric, and no queued
-//     or in-flight work left in any proxy runner.
-func checkInvariants(env *harness.Env, sc Scenario, led *ledger, simErr error, rankErrs []error, finished int) error {
+//     or in-flight work left in any proxy runner;
+//   - lifecycle (churn scenarios): every orchestrator job finished and
+//     returned its capacity, and no tenant communicator outlived its
+//     teardown (checkChurn).
+func checkInvariants(env *harness.Env, sc Scenario, led *ledger, simErr error, rankErrs []error, finished int, scriptComm spec.CommID, orch *orchestrator.Orchestrator, churnJobs []*orchestrator.Job) error {
 	var errs []string
 	if simErr != nil {
 		errs = append(errs, "scheduler: "+simErr.Error())
@@ -119,9 +135,10 @@ func checkInvariants(env *harness.Env, sc Scenario, led *ledger, simErr error, r
 			errs = append(errs, "data: "+e.Error())
 		}
 	}
-	if err := led.check(sc.Ranks, sc.Ops); err != nil {
+	if err := led.check(sc.Ranks, sc.Ops, scriptComm); err != nil {
 		errs = append(errs, "generation: "+err.Error())
 	}
+	errs = append(errs, checkChurn(env, orch, churnJobs)...)
 	if n := env.Fabric.ManagedFlows(); n != 0 {
 		errs = append(errs, fmt.Sprintf("quiescence: %d managed flows still active after drain", n))
 	}

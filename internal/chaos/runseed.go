@@ -11,7 +11,9 @@ import (
 	"mccs/internal/harness"
 	"mccs/internal/mccsd"
 	"mccs/internal/ncclsim"
+	"mccs/internal/orchestrator"
 	"mccs/internal/sim"
+	"mccs/internal/spec"
 	"mccs/internal/topo"
 	"mccs/internal/trace"
 )
@@ -98,6 +100,9 @@ func RunSeed(sc Scenario, seed uint64) Result {
 	sched := randStream(seed, 0xbf58476d1ce4e5b9, 2)
 	inj := randStream(seed, 0x94d049bb133111eb, 3)
 	tune := randStream(seed, 0x2545f4914f6cdd1d, 4)
+	// The churn stream is drawn only by scenarios with Churn > 0, so the
+	// existing corpus replays byte-identically.
+	churn := randStream(seed, 0xd6e8feb86659fd93, 5)
 
 	script, err := buildScript(sc, wrk)
 	if err != nil {
@@ -127,16 +132,23 @@ func RunSeed(sc Scenario, seed uint64) Result {
 
 	rankErrs := make([]error, sc.Ranks)
 	finished := 0
+	var scriptComm spec.CommID
 	for rank := 0; rank < sc.Ranks; rank++ {
 		rank := rank
 		gpu := gpus[rank]
 		env.S.Go(fmt.Sprintf("chaos:rank%d", rank), func(p *sim.Proc) {
-			rankErrs[rank] = runRank(p, env, sc, script, rank, gpu)
+			rankErrs[rank] = runRank(p, env, sc, script, rank, gpu, &scriptComm)
 			finished++
 		})
 	}
 
 	installInjectors(env, sc, inj, tune, gpus)
+
+	var orch *orchestrator.Orchestrator
+	var churnJobs []*orchestrator.Job
+	if sc.Churn > 0 {
+		orch, churnJobs = installChurn(env, sc, churn)
+	}
 
 	simErr := runSim(env.S)
 
@@ -145,7 +157,7 @@ func RunSeed(sc Scenario, seed uint64) Result {
 	res.TraceHash, res.Events = tr.hash, tr.n
 	res.Tail = append([]TraceEntry(nil), tr.tail...)
 
-	res.Err = checkInvariants(env, sc, led, simErr, rankErrs, finished)
+	res.Err = checkInvariants(env, sc, led, simErr, rankErrs, finished, scriptComm, orch, churnJobs)
 	if res.Err != nil {
 		res.TracePath = dumpTrace(env, rec, sc, seed)
 	}
@@ -195,12 +207,18 @@ type pendingOp struct {
 	recv *gpusim.Buffer
 }
 
-func runRank(p *sim.Proc, env *harness.Env, sc Scenario, script []opSpec, rank int, gpu topo.GPUID) error {
+func runRank(p *sim.Proc, env *harness.Env, sc Scenario, script []opSpec, rank int, gpu topo.GPUID, scriptComm *spec.CommID) error {
 	host := env.Cluster.HostOfGPU(gpu)
 	f := env.Deployment.Service(host).Frontend("chaos")
 	comm, err := f.CommInitRank(p, "chaos", sc.Ranks, rank, gpu)
 	if err != nil {
 		return fmt.Errorf("rank %d: init: %w", rank, err)
+	}
+	if rank == 0 {
+		// The ledger's exact-count invariant is scoped to this
+		// communicator; churn tenants' collectives are checked for
+		// agreement only (their op counts vary by scenario draw).
+		*scriptComm = comm.ID()
 	}
 
 	verify := func(po pendingOp) error {

@@ -1,0 +1,120 @@
+package orchestrator
+
+import (
+	"reflect"
+	"testing"
+
+	"mccs/internal/topo"
+)
+
+// The testbed cluster: 4 hosts x 2 GPUs, hosts 0-1 in rack 0 and hosts
+// 2-3 in rack 1. GPU g lives on host g/2.
+func testCluster(t *testing.T) *topo.Cluster {
+	t.Helper()
+	c, err := topo.BuildClos(topo.TestbedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func gpus(ids ...int) []topo.GPUID {
+	out := make([]topo.GPUID, len(ids))
+	for i, id := range ids {
+		out[i] = topo.GPUID(id)
+	}
+	return out
+}
+
+func TestBinPackPrefersSingleHost(t *testing.T) {
+	c := testCluster(t)
+	got, ok := BinPack{}.Place(c, gpus(0, 1, 2, 3, 4, 5, 6, 7), 2)
+	if !ok || !reflect.DeepEqual(got, gpus(0, 1)) {
+		t.Fatalf("Place(2) = %v, %v; want [0 1], true", got, ok)
+	}
+	if loc := localityOf(c, got); loc != LocalityHost {
+		t.Fatalf("locality = %v, want host", loc)
+	}
+}
+
+func TestBinPackPicksTightestHost(t *testing.T) {
+	c := testCluster(t)
+	// Host 0 has one free GPU (g1), host 1 both: a 1-GPU job should
+	// take the tight hole and leave the full host for bigger jobs.
+	got, ok := BinPack{}.Place(c, gpus(1, 2, 3), 1)
+	if !ok || !reflect.DeepEqual(got, gpus(1)) {
+		t.Fatalf("Place(1) = %v, %v; want [1], true", got, ok)
+	}
+}
+
+func TestBinPackFillsRackBeforeSpilling(t *testing.T) {
+	c := testCluster(t)
+	got, ok := BinPack{}.Place(c, gpus(0, 1, 2, 3, 4, 5, 6, 7), 4)
+	if !ok || !reflect.DeepEqual(got, gpus(0, 1, 2, 3)) {
+		t.Fatalf("Place(4) = %v, %v; want [0 1 2 3], true", got, ok)
+	}
+	if loc := localityOf(c, got); loc != LocalityRack {
+		t.Fatalf("locality = %v, want rack", loc)
+	}
+}
+
+func TestBinPackCrossRackSpillUnderFragmentation(t *testing.T) {
+	c := testCluster(t)
+	// Rack 0 has one free GPU, rack 1 has four: a 5-GPU job cannot fit
+	// any rack and must spill, emptiest rack first.
+	got, ok := BinPack{}.Place(c, gpus(3, 4, 5, 6, 7), 5)
+	if !ok || !reflect.DeepEqual(got, gpus(4, 5, 6, 7, 3)) {
+		t.Fatalf("Place(5) = %v, %v; want [4 5 6 7 3], true", got, ok)
+	}
+	if loc := localityOf(c, got); loc != LocalityCross {
+		t.Fatalf("locality = %v, want cross-rack", loc)
+	}
+}
+
+func TestBinPackRejectsWhenShort(t *testing.T) {
+	c := testCluster(t)
+	if got, ok := (BinPack{}).Place(c, gpus(0, 1), 3); ok {
+		t.Fatalf("Place(3 of 2 free) = %v, want no placement", got)
+	}
+	if got, ok := (BinPack{}).Place(c, gpus(0, 1), 0); ok {
+		t.Fatalf("Place(0) = %v, want no placement", got)
+	}
+}
+
+func TestRackSpreadDealsAcrossRacks(t *testing.T) {
+	c := testCluster(t)
+	got, ok := RackSpread{}.Place(c, gpus(0, 1, 2, 3, 4, 5, 6, 7), 4)
+	if !ok || !reflect.DeepEqual(got, gpus(0, 1, 4, 5)) {
+		t.Fatalf("Place(4) = %v, %v; want [0 1 4 5], true", got, ok)
+	}
+	if loc := localityOf(c, got); loc != LocalityCross {
+		t.Fatalf("locality = %v, want cross-rack", loc)
+	}
+}
+
+func TestRackSpreadDeterministic(t *testing.T) {
+	c := testCluster(t)
+	a, _ := RackSpread{}.Place(c, gpus(0, 1, 2, 3, 4, 5, 6, 7), 3)
+	b, _ := RackSpread{}.Place(c, gpus(0, 1, 2, 3, 4, 5, 6, 7), 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("non-deterministic placement: %v vs %v", a, b)
+	}
+}
+
+func TestLocalityOf(t *testing.T) {
+	c := testCluster(t)
+	cases := []struct {
+		in   []topo.GPUID
+		want Locality
+	}{
+		{gpus(0, 1), LocalityHost},
+		{gpus(0, 2), LocalityRack},
+		{gpus(0, 4), LocalityCross},
+		{gpus(6), LocalityHost},
+	}
+	for _, tc := range cases {
+		if got := localityOf(c, tc.in); got != tc.want {
+			t.Errorf("localityOf(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

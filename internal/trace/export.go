@@ -162,6 +162,11 @@ func threadKey(sp *Span, m *Meta) string {
 		return fmt.Sprintf("gpu%d s%d", sp.GPU, sp.Flow)
 	case KindTuner:
 		return fmt.Sprintf("tuner c%d", sp.Comm)
+	case KindSched:
+		if sp.Op == SchedReconfig {
+			return "sched policy"
+		}
+		return fmt.Sprintf("sched job%d", sp.Seq)
 	default:
 		return "misc"
 	}
@@ -206,6 +211,11 @@ func eventName(sp *Span) string {
 			return "tune:" + sp.Label
 		}
 		return "tuner"
+	case KindSched:
+		if sp.Label != "" {
+			return "sched:" + SchedName(sp.Op) + ":" + sp.Label
+		}
+		return "sched:" + SchedName(sp.Op)
 	default:
 		return sp.Kind.String()
 	}

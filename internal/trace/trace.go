@@ -73,9 +73,15 @@ const (
 	// the install/achieved records the tuner emits so traces show why a
 	// strategy was picked.
 	KindTuner
+	// KindSched is one orchestrator scheduling event: a job's wait in
+	// the admission queue, its running interval on its placement, an
+	// admission rejection, or a churn-triggered policy recompute.
+	// Span.Op holds the Sched* code, Seq the job ID (0 for recomputes)
+	// and Label the tenant (or the churn cause for recomputes).
+	KindSched
 )
 
-var kindNames = [...]string{"op", "step", "barrier", "p2p", "cmd", "flow", "xfer", "kernel", "tuner"}
+var kindNames = [...]string{"op", "step", "barrier", "p2p", "cmd", "flow", "xfer", "kernel", "tuner", "sched"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -100,6 +106,25 @@ var phaseNames = [...]string{"seq-exchange", "drain", "completion-barrier", "tea
 func PhaseName(code int32) string {
 	if code >= 0 && int(code) < len(phaseNames) {
 		return phaseNames[code]
+	}
+	return "?"
+}
+
+// Orchestrator scheduling event codes (Span.Op for KindSched), in job
+// lifecycle order.
+const (
+	SchedQueue    int32 = iota // waiting in the admission queue
+	SchedRun                   // running on its placement
+	SchedReject                // admission rejected (instant span)
+	SchedReconfig              // churn-triggered policy recompute
+)
+
+var schedNames = [...]string{"queue", "run", "reject", "reconfig"}
+
+// SchedName returns the printable name of a scheduling event code.
+func SchedName(code int32) string {
+	if code >= 0 && int(code) < len(schedNames) {
+		return schedNames[code]
 	}
 	return "?"
 }

@@ -50,6 +50,23 @@ type RunConfig struct {
 	// every iteration (timeline experiments consume this instead of
 	// waiting for job completion).
 	OnIteration func(iter int, end sim.Time, dur time.Duration)
+	// OnReady, when non-nil, is invoked by rank 0 once the communicator
+	// is established, before the first iteration. The orchestrator uses
+	// it to trigger policy recomputes the moment a new tenant shows up
+	// in the management view.
+	OnReady func(id spec.CommID)
+	// Teardown makes every rank destroy its communicator handle and
+	// free its buffer after the last iteration, so a finished job
+	// disappears from the deployment view and leaves no engine state
+	// behind (the lifecycle a real multi-tenant service runs).
+	Teardown bool
+	// TeardownGate, when non-nil, brackets each rank's teardown: it is
+	// called before the destroy and the release function it returns is
+	// called after the destroy completes. The orchestrator supplies a
+	// gate that keeps communicator teardown from interleaving with a
+	// reconfiguration barrier (a destroyed runner can never process its
+	// barrier message, which would wedge the recompute).
+	TeardownGate func(p *sim.Proc) (release func())
 }
 
 // Breakdown is the Fig. 2 decomposition of an iteration: fractions of
@@ -139,6 +156,9 @@ func runRank(p *sim.Proc, cfg RunConfig, rank int, gpu topo.GPUID, host topo.Hos
 	}
 	if rank == 0 {
 		res.CommID = comm.ID()
+		if cfg.OnReady != nil {
+			cfg.OnReady(comm.ID())
+		}
 	}
 
 	var busyCompute, busyMemcpy, busyIdle, busyComm time.Duration
@@ -195,6 +215,22 @@ func runRank(p *sim.Proc, cfg RunConfig, rank int, gpu topo.GPUID, host topo.Hos
 				Idle:    float64(busyIdle) / float64(total),
 				Comm:    float64(busyComm) / float64(total),
 			}
+		}
+	}
+	if cfg.Teardown {
+		var release func()
+		if cfg.TeardownGate != nil {
+			release = cfg.TeardownGate(p)
+		}
+		err := comm.Destroy(p)
+		if err == nil {
+			err = f.MemFree(p, buf)
+		}
+		if release != nil {
+			release()
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil
