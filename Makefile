@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt test vet race race-hot check chaos bench bench-json trace telemetry churn
+.PHONY: all build fmt test vet race race-hot check chaos bench bench-json bench-sim-json trace telemetry churn
 
 all: check
 
@@ -24,11 +24,11 @@ race:
 	$(GO) test -race ./...
 
 # race-hot doubles down on the packages with the most schedule-sensitive
-# surface — the collective schedule generators, the proxy engine, the
-# strategy autotuner, and the lifecycle orchestrator — running them
-# twice under the detector.
+# surface — the scheduler core itself, the collective schedule
+# generators, the proxy engine, the strategy autotuner, and the
+# lifecycle orchestrator — running them twice under the detector.
 race-hot:
-	$(GO) test -race -count=2 ./internal/collective/ ./internal/proxy/ ./internal/tuner/ ./internal/orchestrator/
+	$(GO) test -race -count=2 ./internal/sim/ ./internal/collective/ ./internal/proxy/ ./internal/tuner/ ./internal/orchestrator/
 
 # check is the CI gate: everything must build, vet clean, and pass the
 # full test suite twice — once plain, once under the race detector.
@@ -47,6 +47,14 @@ bench:
 # {bench, metric, value}. CI uploads the file as a build artifact.
 bench-json:
 	$(GO) test -run '^$$' -bench . -benchtime=1x . | $(GO) run ./cmd/mccs-benchjson > BENCH.json
+
+# bench-sim-json measures the scheduler core's hot paths (timer-churn,
+# same-instant-wake, proc-handoff) with allocation reporting and writes
+# BENCH.sim.json; DESIGN.md §10 quotes these entries and CI uploads the
+# file as a build artifact. The pooled paths must report 0 allocs/op
+# (asserted by TestHotPathsDoNotAllocate as well).
+bench-sim-json:
+	$(GO) test -run '^$$' -bench BenchmarkSimCore -benchtime=10000x ./internal/sim/ | $(GO) run ./cmd/mccs-benchjson > BENCH.sim.json
 
 # trace records a short Fig. 7 reconfiguration run with the flight
 # recorder and prints the bottleneck-attribution summary. The JSON also

@@ -164,7 +164,7 @@ type Fabric struct {
 	dirty bool
 
 	lastUpdate sim.Time
-	timer      *sim.Timer
+	timer      sim.Timer
 
 	// linkRate[l] is the currently allocated aggregate rate on link l,
 	// maintained by recompute for monitoring queries; externalRate[l]
@@ -851,10 +851,8 @@ func (fb *Fabric) waterfill(priorityOnly bool) {
 
 // schedule arms the completion timer for the earliest-finishing flow.
 func (fb *Fabric) schedule() {
-	if fb.timer != nil {
-		fb.timer.Stop()
-		fb.timer = nil
-	}
+	fb.timer.Stop()
+	fb.timer = sim.Timer{}
 	next := math.Inf(1)
 	for _, fl := range fb.flows {
 		if fl.rate <= 0 || math.IsInf(fl.bytes, 1) {
@@ -889,7 +887,7 @@ func (fb *Fabric) schedule() {
 }
 
 func (fb *Fabric) onTimer() {
-	fb.timer = nil
+	fb.timer = sim.Timer{}
 	fb.progress()
 	completed := fb.completed[:0]
 	for _, fl := range fb.flows { // already in flow-ID order

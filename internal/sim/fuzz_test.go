@@ -98,7 +98,7 @@ func TestObserverFingerprint(t *testing.T) {
 func TestTimerStopFromSameInstant(t *testing.T) {
 	s := New()
 	fired := false
-	var tm *Timer
+	var tm Timer
 	s.At(Time(time.Millisecond), func() {
 		if !tm.Stop() {
 			t.Error("Stop returned false for a pending same-instant timer")

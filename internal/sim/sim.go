@@ -12,10 +12,34 @@
 // baton; no two of them run concurrently, so simulation state needs no locks.
 // All sim objects must be touched only from scheduler context (process bodies
 // and timer callbacks).
+//
+// # Performance shape
+//
+// The event loop is the hot path under every experiment in the repository,
+// so it is built to schedule and fire events without allocating:
+//
+//   - Events live in a pooled arena ([]event indexed by int32) with an index
+//     free list; firing or canceling an event recycles its slot. A
+//     per-slot generation counter keeps recycled Timer handles inert.
+//   - Pending events sit in an intrusive 4-ary min-heap of arena indexes
+//     ordered by (at, seq) — no interface boxing, no per-element
+//     allocation, and a shallower tree than the binary container/heap it
+//     replaced. Canceled events are dropped lazily and the heap compacts
+//     itself when more than half its entries are dead.
+//   - Events scheduled for the current instant bypass the heap entirely and
+//     append to the ready set (sequence order is preserved because new
+//     events always draw larger sequence numbers).
+//   - The dominant scheduling actions — process start, wakeup, Sleep — are
+//     tagged event kinds interpreted by the loop, not closures, so none of
+//     them allocates a func() per action.
+//
+// The observable schedule — the (at, seq) observer stream, and therefore
+// every same-seed trace, telemetry export and chaos replay — is
+// byte-for-byte identical to the original container/heap implementation;
+// TestScheduleFingerprintGolden at the repository root pins it.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"slices"
 	"time"
@@ -57,8 +81,14 @@ type Proc struct {
 	id      int
 	state   procState
 	daemon  bool   // excluded from deadlock detection (long-lived service loops)
+	killed  bool   // set by Shutdown; park unwinds instead of resuming
 	parkSeq uint64 // increments at every park; stale wakeups are discarded
 	resume  chan struct{}
+
+	// parkedIdx / liveIdx are this process's slots in the scheduler's
+	// parked and live slices (intrusive bookkeeping; -1 when absent).
+	parkedIdx int32
+	liveIdx   int32
 
 	// wakeReason is set by the waker immediately before readying the
 	// process, and read by the parked process when it resumes.
@@ -74,62 +104,62 @@ func (p *Proc) Scheduler() *Scheduler { return p.s }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.s.now }
 
-// event is a scheduled callback. By default events fire in (at, seq)
-// order; seq breaks ties so that events scheduled earlier run earlier,
-// which keeps the simulation deterministic. An installed Picker (see
-// SetPicker) may permute the firing order among events that share a
+// eventKind tags what firing an event means. The dominant scheduling
+// actions are data, not closures: the loop interprets the tag, so
+// starting, waking or sleeping a process allocates nothing.
+type eventKind uint8
+
+const (
+	evFn       eventKind = iota // run a user callback (At/After)
+	evDispatch                  // hand the baton to proc
+	evWake                      // ready(proc, wakeSeq, reason) — Sleep and timed waits
+)
+
+// event is a scheduled callback slot in the arena. By default events fire
+// in (at, seq) order; seq breaks ties so that events scheduled earlier run
+// earlier, which keeps the simulation deterministic. An installed Picker
+// (see SetPicker) may permute the firing order among events that share a
 // timestamp — the foundation of the chaos harness's schedule fuzzing.
 type event struct {
 	at       Time
 	seq      uint64
-	fn       func()
+	gen      uint32 // bumped on every recycle; guards stale Timer handles
+	kind     eventKind
 	canceled bool
-	fired    bool
-	index    int // heap index, -1 when popped into the ready set
+	inHeap   bool
+
+	fn      func() // evFn
+	proc    *Proc  // evDispatch, evWake
+	wakeSeq uint64 // evWake
+	reason  any    // evWake
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
-
-// Timer is a handle to a scheduled callback that can be stopped.
+// Timer is a handle to a scheduled callback that can be stopped. The zero
+// Timer is valid and inert. Timers are plain values: copying one copies
+// the handle, and stopping any copy cancels the same event.
 type Timer struct {
-	s  *Scheduler
-	ev *event
+	s   *Scheduler
+	idx int32
+	gen uint32
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the timer
-// was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.fired {
+// was still pending. Stopping a fired, already-stopped, or zero timer is a
+// safe no-op: the generation counter on the event slot means a handle to a
+// recycled slot can never cancel the slot's new occupant.
+func (t Timer) Stop() bool {
+	if t.s == nil {
 		return false
 	}
-	t.ev.canceled = true
+	ev := &t.s.arena[t.idx]
+	if ev.gen != t.gen || ev.canceled {
+		return false
+	}
+	ev.canceled = true
+	if ev.inHeap {
+		t.s.heapDead++
+		t.s.maybeCompactHeap()
+	}
 	return true
 }
 
@@ -145,12 +175,32 @@ type Picker interface {
 
 // Scheduler owns the virtual clock and the event queue.
 type Scheduler struct {
-	now      Time
-	seq      uint64
-	queue    eventHeap
-	readySet []*event // same-instant candidates, in seq order
-	yield    chan struct{}
-	nextID   int
+	now Time
+	seq uint64
+
+	// arena is the pooled event storage; free lists recycled slots.
+	arena []event
+	free  []int32
+
+	// heap is an intrusive 4-ary min-heap of arena indexes ordered by
+	// (at, seq). heapDead counts canceled entries still inside it; they
+	// are dropped lazily on pop and in bulk by maybeCompactHeap.
+	heap     []int32
+	heapDead int
+
+	// readySet holds the current instant's runnable events as arena
+	// indexes. Entries before readyHead have been consumed (the head
+	// advances instead of shifting the slice, so FIFO picks are O(1)).
+	// Entries from committed onward were scheduled since the last drain
+	// point and are not yet pick candidates: commitReady filters the
+	// canceled ones out before the next pick, which reproduces exactly
+	// the visibility the heap round-trip used to give them.
+	readySet  []int32
+	readyHead int
+	committed int
+
+	yield  chan struct{}
+	nextID int
 
 	picker   Picker
 	observer func(at Time, seq uint64)
@@ -172,9 +222,13 @@ type Scheduler struct {
 	// built.
 	metricsSink any
 
-	live    int // processes not yet Done
-	parked  map[int]*Proc
-	current *Proc
+	// liveProcs holds every process that has not finished (including ones
+	// never yet dispatched); parked holds the currently-parked subset.
+	// Both are intrusive slices with swap-removal via the indexes stored
+	// on the Proc.
+	liveProcs []*Proc
+	parked    []*Proc
+	current   *Proc
 
 	panicked any
 }
@@ -182,8 +236,7 @@ type Scheduler struct {
 // New returns an empty scheduler positioned at the simulation epoch.
 func New() *Scheduler {
 	return &Scheduler{
-		yield:  make(chan struct{}),
-		parked: make(map[int]*Proc),
+		yield: make(chan struct{}, 1),
 	}
 }
 
@@ -219,16 +272,17 @@ func (s *Scheduler) OnInstantEnd(fn func()) {
 }
 
 // runInstantEnd invokes the registered end-of-instant flushers and
-// reports whether any of them scheduled new work.
+// reports whether any of them scheduled new work. Detection is by the
+// monotonic event sequence counter, which every schedule draws from.
 func (s *Scheduler) runInstantEnd() bool {
 	if len(s.instantEnd) == 0 {
 		return false
 	}
-	q, r := len(s.queue), len(s.readySet)
+	before := s.seq
 	for _, fn := range s.instantEnd {
 		fn()
 	}
-	return len(s.queue) != q || len(s.readySet) != r
+	return s.seq != before
 }
 
 // SetTraceSink attaches an opaque value (in practice a *trace.Recorder)
@@ -247,31 +301,182 @@ func (s *Scheduler) SetMetricsSink(v any) { s.metricsSink = v }
 // MetricsSink returns the value installed by SetMetricsSink, or nil.
 func (s *Scheduler) MetricsSink() any { return s.metricsSink }
 
+// ---------------------------------------------------------------------------
+// Event arena
+
+// allocEvent returns a free arena slot, reusing recycled ones first.
+func (s *Scheduler) allocEvent() int32 {
+	if n := len(s.free); n > 0 {
+		idx := s.free[n-1]
+		s.free = s.free[:n-1]
+		return idx
+	}
+	s.arena = append(s.arena, event{})
+	return int32(len(s.arena) - 1)
+}
+
+// recycleEvent returns a slot to the free list. The generation bump
+// invalidates every outstanding Timer handle to the slot, and the
+// reference fields are cleared so the arena pins no dead closures.
+func (s *Scheduler) recycleEvent(idx int32) {
+	ev := &s.arena[idx]
+	ev.gen++
+	ev.fn = nil
+	ev.proc = nil
+	ev.reason = nil
+	s.free = append(s.free, idx)
+}
+
+// schedule places a freshly-initialized event: the heap for future
+// instants, or — the fast path — straight onto the ready set when it is
+// due this very instant. Appending preserves (at, seq) pick order because
+// a new event's seq is larger than every seq already drawn, which is
+// exactly the position the heap round-trip would have given it.
+func (s *Scheduler) schedule(t Time, kind eventKind, fn func(), p *Proc, wakeSeq uint64, reason any) (int32, uint32) {
+	s.seq++
+	idx := s.allocEvent()
+	ev := &s.arena[idx]
+	ev.at, ev.seq, ev.kind = t, s.seq, kind
+	ev.canceled = false
+	ev.fn, ev.proc, ev.wakeSeq, ev.reason = fn, p, wakeSeq, reason
+	if t == s.now {
+		ev.inHeap = false
+		s.readySet = append(s.readySet, idx)
+	} else {
+		ev.inHeap = true
+		s.heapPush(idx)
+	}
+	return idx, ev.gen
+}
+
+// ---------------------------------------------------------------------------
+// Intrusive 4-ary min-heap over the arena, ordered by (at, seq)
+
+func (s *Scheduler) heapPush(idx int32) {
+	s.heap = append(s.heap, idx)
+	s.siftUp(len(s.heap) - 1)
+}
+
+// heapPopHead removes and returns the heap minimum. The caller owns the
+// popped index (clears inHeap, recycles or readies it).
+func (s *Scheduler) heapPopHead() int32 {
+	h := s.heap
+	top := h[0]
+	last := h[len(h)-1]
+	s.heap = h[:len(h)-1]
+	if len(s.heap) > 0 {
+		s.siftDown(0, last)
+	}
+	return top
+}
+
+func (s *Scheduler) siftUp(i int) {
+	h := s.heap
+	idx := h[i]
+	at, seq := s.arena[idx].at, s.arena[idx].seq
+	for i > 0 {
+		parent := (i - 1) >> 2
+		pe := &s.arena[h[parent]]
+		if at > pe.at || (at == pe.at && seq > pe.seq) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = idx
+}
+
+// siftDown re-inserts idx starting at hole position i.
+func (s *Scheduler) siftDown(i int, idx int32) {
+	h := s.heap
+	n := len(h)
+	at, seq := s.arena[idx].at, s.arena[idx].seq
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		me := &s.arena[h[first]]
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			je := &s.arena[h[j]]
+			if je.at < me.at || (je.at == me.at && je.seq < me.seq) {
+				min, me = j, je
+			}
+		}
+		if at < me.at || (at == me.at && seq < me.seq) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = idx
+}
+
+// maybeCompactHeap drops canceled entries in bulk once they outnumber the
+// live ones: filter in place, then heapify bottom-up. The floor keeps
+// small heaps from compacting on every cancel.
+func (s *Scheduler) maybeCompactHeap() {
+	const minCompact = 32
+	if len(s.heap) < minCompact || s.heapDead*2 <= len(s.heap) {
+		return
+	}
+	kept := 0
+	for _, idx := range s.heap {
+		ev := &s.arena[idx]
+		if ev.canceled {
+			ev.inHeap = false
+			s.recycleEvent(idx)
+			continue
+		}
+		s.heap[kept] = idx
+		kept++
+	}
+	s.heap = s.heap[:kept]
+	s.heapDead = 0
+	for i := (len(s.heap) - 2) >> 2; i >= 0; i-- {
+		s.siftDown(i, s.heap[i])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling API
+
 // Go creates a process named name executing fn and schedules it to start at
 // the current virtual time.
 func (s *Scheduler) Go(name string, fn func(p *Proc)) *Proc {
 	s.nextID++
 	p := &Proc{
-		s:      s,
-		name:   name,
-		id:     s.nextID,
-		state:  procRunnable,
-		resume: make(chan struct{}),
+		s:         s,
+		name:      name,
+		id:        s.nextID,
+		state:     procRunnable,
+		parkedIdx: -1,
+		resume:    make(chan struct{}, 1),
 	}
-	s.live++
+	p.liveIdx = int32(len(s.liveProcs))
+	s.liveProcs = append(s.liveProcs, p)
 	go func() {
 		<-p.resume
 		defer func() {
 			if r := recover(); r != nil {
-				s.panicked = fmt.Sprintf("sim process %q panicked: %v", p.name, r)
+				if _, unwound := r.(procKilled); !unwound && s.panicked == nil {
+					s.panicked = fmt.Sprintf("sim process %q panicked: %v", p.name, r)
+				}
 			}
 			p.state = procDone
-			s.live--
+			s.dropLive(p)
 			s.yield <- struct{}{}
 		}()
-		fn(p)
+		if !p.killed {
+			fn(p)
+		}
 	}()
-	s.at(s.now, func() { s.dispatch(p) })
+	s.schedule(s.now, evDispatch, nil, p, 0, nil)
 	return p
 }
 
@@ -285,23 +490,54 @@ func (s *Scheduler) GoDaemon(name string, fn func(p *Proc)) *Proc {
 
 // At schedules fn to run in scheduler context at time t (or now, if t is in
 // the past). The returned Timer can cancel it.
-func (s *Scheduler) At(t Time, fn func()) *Timer {
+func (s *Scheduler) At(t Time, fn func()) Timer {
 	if t < s.now {
 		t = s.now
 	}
-	return &Timer{s: s, ev: s.at(t, fn)}
+	idx, gen := s.schedule(t, evFn, fn, nil, 0, nil)
+	return Timer{s: s, idx: idx, gen: gen}
 }
 
 // After schedules fn to run d from now.
-func (s *Scheduler) After(d Duration, fn func()) *Timer {
+func (s *Scheduler) After(d Duration, fn func()) Timer {
 	return s.At(s.now.Add(d), fn)
 }
 
-func (s *Scheduler) at(t Time, fn func()) *event {
-	s.seq++
-	ev := &event{at: t, seq: s.seq, fn: fn}
-	heap.Push(&s.queue, ev)
-	return ev
+// wakeAt schedules a cancellable wakeup for p at time t: when it fires,
+// p is readied with reason iff its park sequence still matches seq. This
+// is the allocation-free backing for Sleep and timed waits.
+func (s *Scheduler) wakeAt(t Time, p *Proc, seq uint64, reason any) Timer {
+	idx, gen := s.schedule(t, evWake, nil, p, seq, reason)
+	return Timer{s: s, idx: idx, gen: gen}
+}
+
+// ---------------------------------------------------------------------------
+// Process state
+
+// dropLive removes p from the live-process slice (swap-removal).
+func (s *Scheduler) dropLive(p *Proc) {
+	i := p.liveIdx
+	if i < 0 {
+		return
+	}
+	last := s.liveProcs[len(s.liveProcs)-1]
+	s.liveProcs[i] = last
+	last.liveIdx = i
+	s.liveProcs = s.liveProcs[:len(s.liveProcs)-1]
+	p.liveIdx = -1
+}
+
+// dropParked removes p from the parked slice (swap-removal).
+func (s *Scheduler) dropParked(p *Proc) {
+	i := p.parkedIdx
+	if i < 0 {
+		return
+	}
+	last := s.parked[len(s.parked)-1]
+	s.parked[i] = last
+	last.parkedIdx = i
+	s.parked = s.parked[:len(s.parked)-1]
+	p.parkedIdx = -1
 }
 
 // dispatch hands the baton to p and waits for it to park or exit.
@@ -319,6 +555,10 @@ func (s *Scheduler) dispatch(p *Proc) {
 	}
 }
 
+// procKilled is the panic value park uses to unwind a process being
+// terminated by Shutdown; the process wrapper recognizes and swallows it.
+type procKilled struct{}
+
 // park blocks the current process until something calls ready on it. It
 // returns the wakeReason installed by the waker.
 func (p *Proc) park() any {
@@ -327,9 +567,13 @@ func (p *Proc) park() any {
 	}
 	p.state = procParked
 	p.parkSeq++
-	p.s.parked[p.id] = p
+	p.parkedIdx = int32(len(p.s.parked))
+	p.s.parked = append(p.s.parked, p)
 	p.s.yield <- struct{}{}
 	<-p.resume
+	if p.killed {
+		panic(procKilled{})
+	}
 	reason := p.wakeReason
 	p.wakeReason = nil
 	return reason
@@ -342,9 +586,9 @@ func (s *Scheduler) ready(p *Proc, seq uint64, reason any) {
 		return
 	}
 	p.state = procRunnable
-	delete(s.parked, p.id)
+	s.dropParked(p)
 	p.wakeReason = reason
-	s.at(s.now, func() { s.dispatch(p) })
+	s.schedule(s.now, evDispatch, nil, p, 0, nil)
 }
 
 // Sleep suspends the process for d of virtual time.
@@ -352,8 +596,7 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	seq := p.parkSeq + 1
-	p.s.At(p.s.now.Add(d), func() { p.s.ready(p, seq, nil) })
+	p.s.wakeAt(p.s.now.Add(d), p, p.parkSeq+1, nil)
 	p.park()
 }
 
@@ -378,10 +621,40 @@ func (e *DeadlockError) Error() string {
 		time.Duration(e.Now), len(e.Parked), e.Parked)
 }
 
+// ---------------------------------------------------------------------------
+// The event loop
+
 // Run executes events until the queue drains. It returns a *DeadlockError if
 // processes remain parked with no pending events, and nil otherwise.
 func (s *Scheduler) Run() error {
 	return s.RunUntil(Time(1<<62 - 1))
+}
+
+// readyLen returns the number of events in the ready set (consumed head
+// slots excluded).
+func (s *Scheduler) readyLen() int { return len(s.readySet) - s.readyHead }
+
+// commitReady makes the events scheduled since the last drain point pick
+// candidates, discarding those canceled in the meantime. This reproduces
+// the pre-arena heap semantics exactly: an event scheduled and canceled
+// within the same turn never became visible to the Picker, while one
+// canceled after entering the ready set stays (and is skipped when
+// picked).
+func (s *Scheduler) commitReady() {
+	if s.committed < len(s.readySet) {
+		kept := s.committed
+		for i := s.committed; i < len(s.readySet); i++ {
+			idx := s.readySet[i]
+			if s.arena[idx].canceled {
+				s.recycleEvent(idx)
+				continue
+			}
+			s.readySet[kept] = idx
+			kept++
+		}
+		s.readySet = s.readySet[:kept]
+	}
+	s.committed = len(s.readySet)
 }
 
 // RunUntil executes events with timestamps <= limit. The clock stops at the
@@ -392,9 +665,31 @@ func (s *Scheduler) Run() error {
 // instant while it is being processed join the ready set and are eligible
 // for the very next pick, so a fuzzing Picker can reorder them ahead of
 // older same-instant work.
-func (s *Scheduler) RunUntil(limit Time) error {
+//
+// # Limit semantics
+//
+// When events remain beyond limit, the end-of-instant flushers run once
+// for the last executed instant, and only then does the clock park at
+// limit — so cross-instant observables are consistent as of that last
+// instant, and no flusher (nor any event) runs at the limit instant
+// itself. Observables that accrue continuously between events (the
+// fabric's transferred-byte counters) are therefore stale by up to
+// limit − lastEvent; readers sampling at the limit must force their own
+// sync (netsim.Fabric.Sync). When the queue instead drains before limit,
+// the clock stops at the last executed event, not at limit.
+//
+// If a process panics, RunUntil terminates every other live process (their
+// deferred calls run) and re-panics the original value, so a recovered
+// simulation leaves no goroutines behind.
+func (s *Scheduler) RunUntil(limit Time) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.killAll()
+			panic(r)
+		}
+	}()
 	for {
-		if len(s.queue) == 0 && len(s.readySet) == 0 {
+		if len(s.heap) == 0 && s.readyLen() == 0 {
 			// The queue drained: a final end-of-instant flush may reveal
 			// more work (a coalesced fabric arming its completion timer),
 			// in which case the run continues.
@@ -403,11 +698,19 @@ func (s *Scheduler) RunUntil(limit Time) error {
 			}
 			continue
 		}
-		if len(s.readySet) == 0 {
-			// Advance the clock to the next pending event.
-			ev := s.queue[0]
+		if s.readyLen() == 0 {
+			// The instant is fully consumed; reclaim the ready set's
+			// backing before advancing the clock to the next pending
+			// event.
+			s.readySet = s.readySet[:0]
+			s.readyHead, s.committed = 0, 0
+			idx := s.heap[0]
+			ev := &s.arena[idx]
 			if ev.canceled {
-				heap.Pop(&s.queue)
+				s.heapPopHead()
+				ev.inHeap = false
+				s.heapDead--
+				s.recycleEvent(idx)
 				continue
 			}
 			// The clock is about to move: let end-of-instant flushers
@@ -425,53 +728,133 @@ func (s *Scheduler) RunUntil(limit Time) error {
 			if ev.at > s.now {
 				s.now = ev.at
 			}
-		}
-		// Pull everything scheduled for the current instant into the
-		// ready set. Heap pops arrive in seq order and new events get
-		// larger seqs, so appending preserves seq order and the default
-		// pick (index 0) reproduces the historical FIFO schedule.
-		for len(s.queue) > 0 && s.queue[0].at <= s.now {
-			ev := heap.Pop(&s.queue).(*event)
-			if !ev.canceled {
-				s.readySet = append(s.readySet, ev)
+			// Pull everything scheduled for this instant out of the heap.
+			// Pops arrive in seq order, so appending preserves pick order.
+			for len(s.heap) > 0 {
+				idx := s.heap[0]
+				ev := &s.arena[idx]
+				if ev.at > s.now {
+					break
+				}
+				s.heapPopHead()
+				ev.inHeap = false
+				if ev.canceled {
+					s.heapDead--
+					s.recycleEvent(idx)
+					continue
+				}
+				s.readySet = append(s.readySet, idx)
 			}
+			s.committed = len(s.readySet)
+		} else {
+			s.commitReady()
 		}
-		if len(s.readySet) == 0 {
+		// Reclaim the consumed prefix once it dominates the backing array,
+		// so a long same-instant cascade cannot grow the ready set without
+		// bound. Pure memory motion: pick order is unaffected.
+		if s.readyHead > 64 && s.readyHead*2 > len(s.readySet) {
+			n := copy(s.readySet, s.readySet[s.readyHead:])
+			s.readySet = s.readySet[:n]
+			s.committed -= s.readyHead
+			s.readyHead = 0
+		}
+		n := s.readyLen()
+		if n == 0 {
 			continue
 		}
-		idx := 0
-		if s.picker != nil && len(s.readySet) > 1 {
-			if i := s.picker.Pick(len(s.readySet)); i >= 0 && i < len(s.readySet) {
-				idx = i
+		pos := s.readyHead
+		if s.picker != nil && n > 1 {
+			if i := s.picker.Pick(n); i > 0 && i < n {
+				pos += i
 			}
 		}
-		ev := s.readySet[idx]
-		copy(s.readySet[idx:], s.readySet[idx+1:])
-		s.readySet[len(s.readySet)-1] = nil
-		s.readySet = s.readySet[:len(s.readySet)-1]
+		idx := s.readySet[pos]
+		// Remove by shifting the (usually empty) prefix right and
+		// advancing the head: FIFO picks cost O(1) instead of shifting
+		// the whole tail left.
+		copy(s.readySet[s.readyHead+1:pos+1], s.readySet[s.readyHead:pos])
+		s.readyHead++
+		ev := &s.arena[idx]
 		if ev.canceled {
 			// Canceled after entering the ready set (a Timer stopped by
 			// an earlier same-instant event).
+			s.recycleEvent(idx)
 			continue
 		}
-		ev.fired = true
+		// Snapshot and recycle before firing: the callback may allocate
+		// new events into this very slot.
+		seq, kind, fn, proc, wakeSeq, reason := ev.seq, ev.kind, ev.fn, ev.proc, ev.wakeSeq, ev.reason
+		s.recycleEvent(idx)
+		s.committed = len(s.readySet)
 		if s.observer != nil {
-			s.observer(s.now, ev.seq)
+			s.observer(s.now, seq)
 		}
-		ev.fn()
+		switch kind {
+		case evDispatch:
+			s.dispatch(proc)
+		case evWake:
+			s.ready(proc, wakeSeq, reason)
+		default:
+			fn()
+		}
 		if s.panicked != nil {
 			panic(s.panicked)
 		}
 	}
-	e := &DeadlockError{Now: s.now}
+	var stuck []string
 	for _, p := range s.parked {
 		if !p.daemon {
-			e.Parked = append(e.Parked, p.name)
+			stuck = append(stuck, p.name)
 		}
 	}
-	if len(e.Parked) > 0 {
-		slices.Sort(e.Parked)
-		return e
+	if len(stuck) > 0 {
+		slices.Sort(stuck)
+		return &DeadlockError{Now: s.now, Parked: stuck}
 	}
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Termination
+
+// Shutdown terminates every live process and discards all pending events.
+// Parked processes are unwound — their deferred calls run — and processes
+// never yet dispatched are released without running their body. Call it
+// when abandoning a simulation mid-flight (a deadlocked or failed run in a
+// long-lived sweep) so no goroutines outlive the scheduler. Outstanding
+// Timer handles stay inert. The scheduler must not be used afterwards
+// beyond reads; Run on a shut-down scheduler returns immediately.
+func (s *Scheduler) Shutdown() {
+	s.killAll()
+	for _, idx := range s.heap {
+		s.arena[idx].inHeap = false
+		s.recycleEvent(idx)
+	}
+	s.heap = s.heap[:0]
+	s.heapDead = 0
+	for _, idx := range s.readySet[s.readyHead:] {
+		s.recycleEvent(idx)
+	}
+	s.readySet = s.readySet[:0]
+	s.readyHead, s.committed = 0, 0
+}
+
+// killAll unwinds every live process, lowest id first, until none remain
+// (a deferred call may spawn or wake others; the sweep repeats until the
+// population is empty). Runs in scheduler context only.
+func (s *Scheduler) killAll() {
+	for len(s.liveProcs) > 0 {
+		victim := s.liveProcs[0]
+		for _, p := range s.liveProcs[1:] {
+			if p.id < victim.id {
+				victim = p
+			}
+		}
+		victim.killed = true
+		if victim.state == procParked {
+			s.dropParked(victim)
+		}
+		victim.resume <- struct{}{}
+		<-s.yield
+	}
 }

@@ -167,7 +167,7 @@ func (q *Queue[T]) PopTimeout(p *Proc, d Duration) (T, bool) {
 	deadline := p.s.now.Add(d)
 	for {
 		seq := p.parkSeq + 1
-		timer := p.s.At(deadline, func() { p.s.ready(p, seq, timeoutReason{}) })
+		timer := p.s.wakeAt(deadline, p, seq, timeoutReason{})
 		q.wq.waiters = append(q.wq.waiters, waiter{p: p, seq: seq})
 		reason := p.park()
 		timer.Stop()
