@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt test vet race race-hot check chaos bench bench-json bench-sim-json trace telemetry churn
+.PHONY: all build fmt test vet race race-hot check chaos bench bench-json bench-sim-json trace telemetry churn doctor
 
 all: check
 
@@ -25,10 +25,11 @@ race:
 
 # race-hot doubles down on the packages with the most schedule-sensitive
 # surface — the scheduler core itself, the collective schedule
-# generators, the proxy engine, the strategy autotuner, and the
-# lifecycle orchestrator — running them twice under the detector.
+# generators, the proxy engine, the strategy autotuner, the lifecycle
+# orchestrator, and the diagnosis engine (whose recorder tap runs inside
+# span emission) — running them twice under the detector.
 race-hot:
-	$(GO) test -race -count=2 ./internal/sim/ ./internal/collective/ ./internal/proxy/ ./internal/tuner/ ./internal/orchestrator/
+	$(GO) test -race -count=2 ./internal/sim/ ./internal/collective/ ./internal/proxy/ ./internal/tuner/ ./internal/orchestrator/ ./internal/diagnosis/
 
 # check is the CI gate: everything must build, vet clean, and pass the
 # full test suite twice — once plain, once under the race detector.
@@ -69,6 +70,15 @@ trace:
 telemetry:
 	$(GO) run ./cmd/mccs-reconfig -run 6s -bg 2s -reconfig 4s -telemetry reconfig.telemetry.jsonl
 	$(GO) run ./cmd/mccs-top reconfig.telemetry.jsonl
+
+# doctor runs the online health-diagnosis smoke (DESIGN.md §14): the
+# contended Fig. 7 run with the diagnosis engine attached live, writing
+# the incident JSONL CI uploads as an artifact, then replaying the trace
+# through mccs-doctor to print the incident timeline (live and replay
+# agree on the incident set by construction).
+doctor:
+	$(GO) run ./cmd/mccs-reconfig -run 6s -bg 2s -reconfig 4s -trace doctor.trace.json -telemetry doctor.telemetry.jsonl -doctor doctor.incidents.jsonl
+	$(GO) run ./cmd/mccs-doctor doctor.trace.json doctor.telemetry.jsonl
 
 # churn runs the tenant-lifecycle smoke (DESIGN.md §13): the default
 # 8-job seeded arrival stream with churn-triggered reconfiguration,

@@ -9,8 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"mccs/internal/chaos"
 	"mccs/internal/cluster"
 	"mccs/internal/collective"
+	"mccs/internal/diagnosis"
 	"mccs/internal/harness"
 	"mccs/internal/metrics"
 	"mccs/internal/ncclsim"
@@ -385,6 +387,29 @@ func BenchmarkAblationAlgorithms(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDoctorAnalyze measures the health-diagnosis engine itself
+// (DESIGN.md §14): replaying a recorded chaos run — straggler faults,
+// thousands of spans — through the full detector pipeline. The run is
+// recorded once outside the timed loop, so the number is pure analysis
+// cost; allocations are reported because the steady-state span path is
+// required to be allocation-free (TestSteadyStateNoAllocs).
+func BenchmarkDoctorAnalyze(b *testing.B) {
+	b.Run("doctor-analyze", func(b *testing.B) {
+		dr := chaos.RunSeedDiagnosed(chaos.DoctorStraggler(), 3)
+		if dr.Failed() {
+			b.Fatal(dr.Err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var rep *diagnosis.Report
+		for i := 0; i < b.N; i++ {
+			rep = diagnosis.Analyze(dr.Recording, nil, diagnosis.DefaultConfig())
+		}
+		b.ReportMetric(float64(len(rep.Incidents)), "incidents")
+		b.ReportMetric(float64(rep.Spans), "spans")
+	})
 }
 
 // BenchmarkSchedChurn measures the tenant-lifecycle orchestrator

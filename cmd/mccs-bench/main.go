@@ -25,6 +25,7 @@ func main() {
 	trials := flag.Int("trials", 5, "ECMP-salt trials (variance sampling)")
 	tracePath := flag.String("trace", "", "record the first benchmark cell's first trial as Chrome trace-event JSON here")
 	telemetryPath := flag.String("telemetry", "", "sample the first benchmark cell's first trial and write the metrics series here (JSONL; .prom for Prometheus text)")
+	doctorPath := flag.String("doctor", "", "attach the online diagnosis engine to the first benchmark cell's first trial and write its health report here (.jsonl for incident JSONL)")
 	autotune := flag.Bool("autotune", false, "add an MCCS(auto) column: full MCCS with the strategy autotuner picking each cell's strategy")
 	flag.Parse()
 
@@ -92,6 +93,10 @@ func main() {
 					if *telemetryPath != "" {
 						cell.TelemetryPath = *telemetryPath
 						*telemetryPath = ""
+					}
+					if *doctorPath != "" {
+						cell.DoctorPath = *doctorPath
+						*doctorPath = ""
 					}
 					res, err := harness.RunSingleApp(cell)
 					if err != nil {

@@ -31,6 +31,7 @@ func main() {
 	tracePath := flag.String("trace", "", "record the run and write Chrome trace-event JSON here")
 	telemetryPath := flag.String("telemetry", "", "sample the metrics registry and write the series here (JSONL; .prom for Prometheus text)")
 	telemetryEvery := flag.Duration("telemetry-every", 0, "telemetry sampling interval (default 100ms)")
+	doctorPath := flag.String("doctor", "", "attach the online diagnosis engine and write its health report here (.jsonl for incident JSONL)")
 	flag.Parse()
 
 	cfg := harness.DefaultChurnConfig()
@@ -42,6 +43,7 @@ func main() {
 	cfg.TracePath = *tracePath
 	cfg.TelemetryPath = *telemetryPath
 	cfg.TelemetryEvery = *telemetryEvery
+	cfg.DoctorPath = *doctorPath
 	switch *placer {
 	case "binpack":
 		cfg.Placer = orchestrator.BinPack{}
@@ -77,5 +79,8 @@ func main() {
 	}
 	if *telemetryPath != "" {
 		fmt.Printf("\ntelemetry written to %s (render with: mccs-top %s)\n", *telemetryPath, *telemetryPath)
+	}
+	if *doctorPath != "" {
+		fmt.Printf("\ndoctor report written to %s\n", *doctorPath)
 	}
 }

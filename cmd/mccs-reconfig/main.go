@@ -22,6 +22,7 @@ func main() {
 	telemetryPath := flag.String("telemetry", "", "sample the metrics registry and write the series here (JSONL; .prom for Prometheus text)")
 	telemetryEvery := flag.Duration("telemetry-every", 0, "telemetry sampling interval (default 100ms)")
 	autotune := flag.Bool("autotune", false, "replace the scripted ring reversal with a strategy-autotuner pass that reads the background flow off the fabric")
+	doctorPath := flag.String("doctor", "", "attach the online diagnosis engine and write its health report here (.jsonl for incident JSONL)")
 	flag.Parse()
 
 	cfg := harness.DefaultReconfigConfig()
@@ -33,9 +34,13 @@ func main() {
 	cfg.TelemetryPath = *telemetryPath
 	cfg.TelemetryEvery = *telemetryEvery
 	cfg.Autotune = *autotune
+	cfg.DoctorPath = *doctorPath
 	res, err := harness.RunReconfigShowcase(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *doctorPath != "" {
+		fmt.Printf("doctor report written to %s\n", *doctorPath)
 	}
 	if *tracePath != "" {
 		fmt.Printf("trace written to %s (view in Perfetto, or: mccs-trace summarize %s)\n", *tracePath, *tracePath)

@@ -8,9 +8,12 @@
 // series.
 //
 // Sections always render in a fixed order — TENANT, SCHED, TUNER,
-// BUSIEST LINKS, SLO VIOLATIONS — and the tenant-keyed sections share
-// one first-column width, so the layout is identical whether a series
-// comes from a file or a -live run and whichever sections have data.
+// HEALTH, BUSIEST LINKS, SLO VIOLATIONS — and the tenant-keyed sections
+// share one first-column width, so the layout is identical whether a
+// series comes from a file or a -live run and whichever sections have
+// data. HEALTH appears when the run had the diagnosis engine attached
+// (a -doctor flag): open incidents, per-class totals, and each tenant's
+// last diagnosed root cause.
 package main
 
 import (
@@ -20,8 +23,10 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
+	"mccs/internal/diagnosis"
 	"mccs/internal/harness"
 	"mccs/internal/telemetry"
 )
@@ -112,6 +117,7 @@ func render(w io.Writer, se *telemetry.Series, opt options) {
 	renderTenants(w, se, s, lw)
 	renderSched(w, se, s, lw)
 	renderTuner(w, se, s, lw)
+	renderHealth(w, se, s, lw)
 	renderLinks(w, se, s, opt.topLinks)
 	renderViolations(w, se, opt.topViolations)
 }
@@ -318,6 +324,89 @@ func renderSched(w io.Writer, se *telemetry.Series, s []telemetry.Sample, lw int
 		lw, "jobs", v.Running, v.Queued, v.Busy, v.Done, v.Rejects, v.Reconfigs, v.AvgWaitSec*1e3)
 	fmt.Fprintf(w, "%-*s host %.0f / rack %.0f / cross-rack %.0f\n",
 		lw, "placements", v.Host, v.Rack, v.Cross)
+}
+
+// healthView is the diagnosis engine's end-of-window state, read off
+// the mccs_doctor_* families a -doctor run exports.
+type healthView struct {
+	Open, Spans, Dropped float64
+	ByClass              []classCount // non-zero classes, detection-count order
+	LastCause            []tenantCause
+	present              bool
+}
+
+type classCount struct {
+	Class string
+	Count float64
+}
+
+type tenantCause struct {
+	Tenant, Class string
+}
+
+// healthRows reads the doctor view; present is false when the series has
+// no diagnosis metrics (runs without -doctor).
+func healthRows(se *telemetry.Series, s []telemetry.Sample) healthView {
+	last := s[len(s)-1]
+	var v healthView
+	one := func(name string) float64 {
+		cols := se.FindCols(name)
+		if len(cols) == 0 {
+			return 0
+		}
+		v.present = true
+		return se.Value(last, cols[0])
+	}
+	v.Open = one("mccs_doctor_open_incidents")
+	v.Spans = one("mccs_doctor_spans_total")
+	v.Dropped = one("mccs_trace_dropped_total")
+	for _, c := range se.FindCols("mccs_doctor_incidents_total", telemetry.L("class", "")) {
+		v.present = true
+		if n := se.Value(last, c); n > 0 {
+			v.ByClass = append(v.ByClass, classCount{Class: se.LabelValue(c, "class"), Count: n})
+		}
+	}
+	sort.Slice(v.ByClass, func(i, j int) bool {
+		if v.ByClass[i].Count != v.ByClass[j].Count {
+			return v.ByClass[i].Count > v.ByClass[j].Count
+		}
+		return v.ByClass[i].Class < v.ByClass[j].Class
+	})
+	for _, c := range se.FindCols("mccs_doctor_last_cause", telemetry.L("tenant", "")) {
+		v.present = true
+		v.LastCause = append(v.LastCause, tenantCause{
+			Tenant: se.LabelValue(c, "tenant"),
+			Class:  diagnosis.Class(int(se.Value(last, c))).String(),
+		})
+	}
+	sort.Slice(v.LastCause, func(i, j int) bool { return v.LastCause[i].Tenant < v.LastCause[j].Tenant })
+	return v
+}
+
+func renderHealth(w io.Writer, se *telemetry.Series, s []telemetry.Sample, lw int) {
+	v := healthRows(se, s)
+	if !v.present {
+		return
+	}
+	total := 0.0
+	for _, c := range v.ByClass {
+		total += c.Count
+	}
+	fmt.Fprintf(w, "\n%-*s %8s %10s %10s %10s\n", lw, "HEALTH", "OPEN", "INCIDENTS", "SPANS", "DROPPED")
+	fmt.Fprintf(w, "%-*s %8.0f %10.0f %10.0f %10.0f\n", lw, "doctor", v.Open, total, v.Spans, v.Dropped)
+	if len(v.ByClass) > 0 {
+		parts := make([]string, len(v.ByClass))
+		for i, c := range v.ByClass {
+			parts[i] = fmt.Sprintf("%s %.0f", c.Class, c.Count)
+		}
+		fmt.Fprintf(w, "%-*s %s\n", lw, "by class", strings.Join(parts, " / "))
+	}
+	for _, c := range v.LastCause {
+		fmt.Fprintf(w, "%-*s %s\n", lw, c.Tenant, c.Class)
+	}
+	if v.Dropped > 0 {
+		fmt.Fprintf(w, "%-*s %.0f trace spans dropped by ring wrap; diagnosis evidence may be incomplete\n", lw, "WARNING", v.Dropped)
+	}
 }
 
 // linkRow is one fabric link's utilization over the window.

@@ -138,9 +138,9 @@ func TestRenderEmpty(t *testing.T) {
 }
 
 // schedSeries extends the synthetic series with the orchestrator's
-// mccs_sched_* families and a tenant name wider than the default
-// first column, so the snapshot exercises every section at once plus
-// the shared-width rule.
+// mccs_sched_* families, the diagnosis engine's mccs_doctor_* families,
+// and a tenant name wider than the default first column, so the
+// snapshot exercises every section at once plus the shared-width rule.
 func schedSeries() *telemetry.Series {
 	se := synthetic()
 	// Rename tenant "b" to something wider than the 12-char default so
@@ -174,10 +174,56 @@ func schedSeries() *telemetry.Series {
 		{2, 1, 6, 1, 0, 1, 0.015, 2, 1, 0},
 		{2, 1, 6, 3, 1, 2, 0.030, 2, 1, 1},
 	}
+	// The diagnosis engine's view: one incident still open at the end,
+	// two slow-gpu + one congested-link diagnosed in total, tenant "a"
+	// last blamed on a slow GPU (class 1) and the long-named tenant on a
+	// congested link (class 2), with 4 trace spans lost to ring wrap.
+	health := []telemetry.Column{
+		{Name: "mccs_doctor_open_incidents", Unit: "incidents", Kind: "gauge"},
+		{Name: "mccs_doctor_spans_total", Unit: "spans", Kind: "counter"},
+		{Name: "mccs_trace_dropped_total", Unit: "spans", Kind: "counter"},
+		{Name: "mccs_doctor_incidents_total", Unit: "incidents", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("class", "slow-gpu")}},
+		{Name: "mccs_doctor_incidents_total", Unit: "incidents", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("class", "congested-link")}},
+		{Name: "mccs_doctor_last_cause", Unit: "class", Kind: "gauge",
+			Labels: []telemetry.Label{telemetry.L("tenant", "a")}},
+		{Name: "mccs_doctor_last_cause", Unit: "class", Kind: "gauge",
+			Labels: []telemetry.Label{telemetry.L("tenant", "tenant-long-name")}},
+	}
+	se.Cols = append(se.Cols, health...)
+	htail := [][]float64{
+		{0, 40, 0, 0, 0, 0, 0},
+		{1, 90, 0, 1, 1, 1, 2},
+		{1, 140, 4, 2, 1, 1, 2},
+	}
 	for i := range se.Samples {
 		se.Samples[i].V = append(se.Samples[i].V, tail[i]...)
+		se.Samples[i].V = append(se.Samples[i].V, htail[i]...)
 	}
 	return se
+}
+
+func TestHealthRows(t *testing.T) {
+	se := schedSeries()
+	v := healthRows(se, se.Samples)
+	if !v.present {
+		t.Fatal("doctor metrics not detected")
+	}
+	if v.Open != 1 || v.Spans != 140 || v.Dropped != 4 {
+		t.Errorf("open/spans/dropped = %g/%g/%g, want 1/140/4", v.Open, v.Spans, v.Dropped)
+	}
+	want := []classCount{{"slow-gpu", 2}, {"congested-link", 1}}
+	if len(v.ByClass) != 2 || v.ByClass[0] != want[0] || v.ByClass[1] != want[1] {
+		t.Errorf("by class = %+v, want %+v", v.ByClass, want)
+	}
+	causes := []tenantCause{{"a", "slow-gpu"}, {"tenant-long-name", "congested-link"}}
+	if len(v.LastCause) != 2 || v.LastCause[0] != causes[0] || v.LastCause[1] != causes[1] {
+		t.Errorf("last cause = %+v, want %+v", v.LastCause, causes)
+	}
+	if w := healthRows(synthetic(), synthetic().Samples); w.present {
+		t.Error("health view present in a series with no doctor metrics")
+	}
 }
 
 func TestSchedRows(t *testing.T) {
@@ -205,10 +251,10 @@ func TestSchedRows(t *testing.T) {
 }
 
 // TestRenderAllSectionsSnapshot pins the whole operator view byte for
-// byte: section order (TENANT, SCHED, TUNER, BUSIEST LINKS, SLO
-// VIOLATIONS), the shared first-column width across the tenant-keyed
-// sections, and every derived number. A layout change must update this
-// golden deliberately.
+// byte: section order (TENANT, SCHED, TUNER, HEALTH, BUSIEST LINKS,
+// SLO VIOLATIONS), the shared first-column width across the
+// tenant-keyed sections, and every derived number. A layout change
+// must update this golden deliberately.
 func TestRenderAllSectionsSnapshot(t *testing.T) {
 	var b strings.Builder
 	render(&b, schedSeries(), options{topLinks: 5, topViolations: 5})
@@ -224,6 +270,13 @@ placements       host 2 / rack 1 / cross-rack 1
 
 TUNER            STRATEGY                      SEARCHES  PREDICTED ms   ACHIEVED ms
 a                ring/locality/ch2/pin                2        12.000        13.000
+
+HEALTH               OPEN  INCIDENTS      SPANS    DROPPED
+doctor                  1          3        140          4
+by class         slow-gpu 2 / congested-link 1
+a                slow-gpu
+tenant-long-name congested-link
+WARNING          4 trace spans dropped by ring wrap; diagnosis evidence may be incomplete
 
 BUSIEST LINKS              CAP Gb/s     UTIL   EXTERNAL
 l0                              100    90.0%      40.0%
@@ -246,6 +299,9 @@ func TestRenderSchedAbsent(t *testing.T) {
 	out := b.String()
 	if strings.Contains(out, "SCHED") {
 		t.Errorf("SCHED rendered without orchestrator metrics:\n%s", out)
+	}
+	if strings.Contains(out, "HEALTH") {
+		t.Errorf("HEALTH rendered without doctor metrics:\n%s", out)
 	}
 	if !strings.Contains(out, "TENANT         GOODPUT") {
 		t.Errorf("default 12-char first column lost:\n%s", out)

@@ -150,6 +150,33 @@ func Scenarios() []Scenario {
 	return []Scenario{LinkFlap(), Straggler(), ReconfigStorm(), AutotuneChurn(), OrchestratorChurn()}
 }
 
+// DoctorStraggler is the straggler scenario re-scaled for diagnosis
+// ground truth: megabyte collectives whose per-chunk kernel time is
+// microseconds (the corpus scenarios' kilobyte ops cost ~2ns of GPU time
+// per step, far below any measurable straggler signal), a longer script,
+// and no send-delay jitter. Not part of Scenarios(): the chaos corpus
+// stresses protocol invariants, this stresses the doctor's detectors.
+func DoctorStraggler() Scenario {
+	return Scenario{
+		Name:  "doctor-straggler",
+		Ranks: 4, Ops: 12, MaxCount: 1 << 18, Depth: 2,
+		Stragglers: 3,
+		Horizon:    12 * time.Millisecond,
+	}
+}
+
+// Clean is a fault-free control: the link-flap workload shape with no
+// injectors at all. The diagnosis false-positive tests require zero
+// incidents on it; it is deliberately not part of Scenarios() (nothing
+// to chaos-test without faults).
+func Clean() Scenario {
+	return Scenario{
+		Name:  "clean",
+		Ranks: 4, Ops: 6, MaxCount: 4096, Depth: 2,
+		Horizon: 8 * time.Millisecond,
+	}
+}
+
 // TraceEntry is one scheduler event in the deterministic event trace:
 // the virtual time it fired at and the event's global sequence number.
 // The (At, Seq) stream is a complete fingerprint of a run's schedule.
@@ -174,6 +201,10 @@ type Result struct {
 	// full flight-recorder dump as Chrome trace-event JSON (inspect with
 	// cmd/mccs-trace or Perfetto).
 	TracePath string
+	// Faults is the injected-fault ground truth, in schedule order. The
+	// diagnosis ground-truth tests score the doctor's incidents against
+	// these windows.
+	Faults []FaultRecord
 	// Err is nil iff every invariant held.
 	Err error
 }

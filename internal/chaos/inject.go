@@ -20,24 +20,28 @@ import (
 // and every fault is time-bounded: capacities are restored, slowdowns
 // cleared, external flows canceled, and the watcher stopped, so that the
 // only thing that can keep the simulation from draining is a genuine bug.
-func installInjectors(env *harness.Env, sc Scenario, inj, tune *rand.Rand, gpus []topo.GPUID) {
+// Each injector also appends its fault windows to fl (nil-safe) as
+// labeled ground truth for the diagnosis engine; recording consumes no
+// PRNG draws, so the fault schedule is identical with or without it.
+func installInjectors(env *harness.Env, sc Scenario, inj, tune *rand.Rand, gpus []topo.GPUID, fl *faultLog) {
 	if sc.LinkFlaps > 0 {
-		injectLinkFlaps(env, sc, inj)
+		injectLinkFlaps(env, sc, inj, fl)
 	}
 	if sc.Stragglers > 0 {
-		injectStragglers(env, sc, inj, gpus)
+		injectStragglers(env, sc, inj, gpus, fl)
 	}
 	if sc.SendDelays {
 		injectSendDelays(env, inj, gpus)
+		fl.add(FaultRecord{Kind: "send-delay", Start: 0, End: FaultOpenEnd, Link: -1, Rank: -1})
 	}
 	if sc.Reconfigs > 0 {
-		injectReconfigStorm(env, sc, inj)
+		injectReconfigStorm(env, sc, inj, fl)
 	}
 	if sc.Congestion {
-		injectCongestion(env, sc, inj)
+		injectCongestion(env, sc, inj, fl)
 	}
 	if sc.Autotunes > 0 {
-		injectAutotune(env, sc, tune)
+		injectAutotune(env, sc, tune, fl)
 	}
 }
 
@@ -48,7 +52,7 @@ func installInjectors(env *harness.Env, sc Scenario, inj, tune *rand.Rand, gpus 
 // reconfiguration path the storm driver stresses. The pass plan (times
 // and search options) is drawn at install time so it is fixed by the
 // seed before the simulation starts.
-func injectAutotune(env *harness.Env, sc Scenario, tune *rand.Rand) {
+func injectAutotune(env *harness.Env, sc Scenario, tune *rand.Rand, fl *faultLog) {
 	type pass struct {
 		after time.Duration
 		opts  policy.AutotuneOptions
@@ -80,6 +84,7 @@ func injectAutotune(env *harness.Env, sc Scenario, tune *rand.Rand) {
 		id := dep.View()[0].ID
 		for _, ps := range plan {
 			p.Sleep(ps.after)
+			fl.add(FaultRecord{Kind: "autotune", Start: env.S.Now(), End: FaultOpenEnd, Link: -1, Rank: -1})
 			if _, err := ctrl.Autotune(p, id, ps.opts); err != nil {
 				panic(fmt.Sprintf("chaos: autotune: %v", err))
 			}
@@ -91,7 +96,7 @@ func injectAutotune(env *harness.Env, sc Scenario, tune *rand.Rand) {
 // capacity (including full blackouts) for a bounded window. Restores
 // always go back to the capacity snapshotted before any flap, so
 // overlapping flaps on the same link cannot strand it degraded.
-func injectLinkFlaps(env *harness.Env, sc Scenario, inj *rand.Rand) {
+func injectLinkFlaps(env *harness.Env, sc Scenario, inj *rand.Rand, fl *faultLog) {
 	net := env.Cluster.Net
 	orig := make([]float64, net.NumLinks())
 	for i := range orig {
@@ -103,6 +108,8 @@ func injectLinkFlaps(env *harness.Env, sc Scenario, inj *rand.Rand) {
 		at := randDuration(inj, sc.Horizon*7/10)
 		dur := sc.Horizon/40 + randDuration(inj, sc.Horizon/8)
 		frac := fracs[inj.Intn(len(fracs))]
+		fl.add(FaultRecord{Kind: "link-flap", Start: sim.Time(at), End: sim.Time(at + dur),
+			Link: int32(l), Rank: -1, Frac: frac})
 		env.S.At(sim.Time(at), func() {
 			env.Fabric.SetLinkCapacity(l, orig[l]*frac)
 		})
@@ -114,12 +121,15 @@ func injectLinkFlaps(env *harness.Env, sc Scenario, inj *rand.Rand) {
 
 // injectStragglers slows random participating GPUs for a bounded window,
 // modeling thermal throttling or a noisy neighbor on the host.
-func injectStragglers(env *harness.Env, sc Scenario, inj *rand.Rand, gpus []topo.GPUID) {
+func injectStragglers(env *harness.Env, sc Scenario, inj *rand.Rand, gpus []topo.GPUID, fl *faultLog) {
 	for i := 0; i < sc.Stragglers; i++ {
-		dev := env.Deployment.Device(gpus[inj.Intn(len(gpus))])
+		ri := inj.Intn(len(gpus)) // index into the rank-ordered GPU list == rank
+		dev := env.Deployment.Device(gpus[ri])
 		at := randDuration(inj, sc.Horizon*7/10)
 		dur := sc.Horizon/40 + randDuration(inj, sc.Horizon/8)
 		factor := 2 + inj.Float64()*14
+		fl.add(FaultRecord{Kind: "straggler", Start: sim.Time(at), End: sim.Time(at + dur),
+			Link: -1, Rank: int32(ri), Factor: factor})
 		env.S.At(sim.Time(at), func() { dev.SetSlowdown(factor) })
 		env.S.At(sim.Time(at+dur), func() { dev.SetSlowdown(1) })
 	}
@@ -153,7 +163,7 @@ func injectSendDelays(env *harness.Env, inj *rand.Rand, gpus []topo.GPUID) {
 // permutations, random route pins, occasional tree thresholds, and
 // skewed per-rank delivery — the exact storm the Fig. 4 sequence-number
 // protocol exists to survive.
-func injectReconfigStorm(env *harness.Env, sc Scenario, inj *rand.Rand) {
+func injectReconfigStorm(env *harness.Env, sc Scenario, inj *rand.Rand, fl *faultLog) {
 	type reconfig struct {
 		strat  spec.Strategy
 		delays []time.Duration
@@ -181,6 +191,7 @@ func injectReconfigStorm(env *harness.Env, sc Scenario, inj *rand.Rand) {
 		id := dep.View()[0].ID
 		for _, rc := range plan {
 			p.Sleep(rc.after)
+			fl.add(FaultRecord{Kind: "reconfig", Start: env.S.Now(), End: FaultOpenEnd, Link: -1, Rank: -1})
 			if _, err := dep.ReconfigureAsync(id, rc.strat, rc.delays); err != nil {
 				panic(fmt.Sprintf("chaos: reconfigure: %v", err))
 			}
@@ -230,7 +241,7 @@ func randomDelays(inj *rand.Rand, n int) []time.Duration {
 // watcher against the deployment, so remediation (route re-pins, ring
 // reversals) happens concurrently with the tenant workload and any
 // reconfiguration storm.
-func injectCongestion(env *harness.Env, sc Scenario, inj *rand.Rand) {
+func injectCongestion(env *harness.Env, sc Scenario, inj *rand.Rand, fl *faultLog) {
 	net := env.Cluster.Net
 	var core []netsim.LinkID
 	sw := make(map[netsim.NodeID]bool)
@@ -253,23 +264,28 @@ func injectCongestion(env *harness.Env, sc Scenario, inj *rand.Rand) {
 	link := net.Link(l)
 	at := randDuration(inj, sc.Horizon/4)
 	dur := sc.Horizon / 2
+	fl.add(FaultRecord{Kind: "congestion", Start: sim.Time(at), End: sim.Time(at + dur),
+		Link: int32(l), Rank: -1})
 
-	var fl *netsim.Flow
+	var bg *netsim.Flow
 	env.S.At(sim.Time(at), func() {
-		fl = env.Fabric.StartFlow(netsim.FlowOpts{
+		bg = env.Fabric.StartFlow(netsim.FlowOpts{
 			Src: link.From, Dst: link.To, Route: []netsim.LinkID{l},
 			FixedRate: 0.75 * link.Capacity, External: true,
 		})
 	})
 	env.S.At(sim.Time(at+dur), func() {
-		if fl != nil {
-			env.Fabric.CancelFlow(fl)
+		if bg != nil {
+			env.Fabric.CancelFlow(bg)
 		}
 	})
 
 	w := policy.NewController(env.Deployment).NewCongestionWatcher()
 	w.Interval = 200 * time.Microsecond
 	w.Consecutive = 2
+	w.OnRemediate = func() {
+		fl.add(FaultRecord{Kind: "remediation", Start: env.S.Now(), End: FaultOpenEnd, Link: -1, Rank: -1})
+	}
 	stop := &sim.Event{}
 	w.Start(stop)
 	env.S.At(sim.Time(sc.Horizon), func() { stop.Signal(env.S) })

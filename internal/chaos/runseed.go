@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"mccs/internal/collective"
+	"mccs/internal/diagnosis"
 	"mccs/internal/gpusim"
 	"mccs/internal/harness"
 	"mccs/internal/mccsd"
@@ -14,6 +15,7 @@ import (
 	"mccs/internal/orchestrator"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
+	"mccs/internal/telemetry"
 	"mccs/internal/topo"
 	"mccs/internal/trace"
 )
@@ -89,6 +91,31 @@ func (f *fuzzPicker) Pick(n int) int { return f.rng.Intn(n) }
 // The same (scenario, seed) pair always produces the identical event
 // trace, so any failure replays exactly.
 func RunSeed(sc Scenario, seed uint64) Result {
+	res, _ := runSeed(sc, seed, false)
+	return res
+}
+
+// DoctorRun couples a chaos Result with the output of a live-attached
+// diagnosis engine. Recording is the run's final span snapshot, which
+// the ground-truth tests use to decide which injected fault windows were
+// observable.
+type DoctorRun struct {
+	Result
+	Report    *diagnosis.Report
+	Recording trace.Recording
+}
+
+// RunSeedDiagnosed is RunSeed with the diagnosis engine attached live
+// (recorder tap + end-of-instant sweeps). The engine schedules no
+// events, so the run's trace hash is identical to RunSeed's — the
+// neutrality test pins that against the corpus hashes.
+func RunSeedDiagnosed(sc Scenario, seed uint64) DoctorRun {
+	res, dr := runSeed(sc, seed, true)
+	dr.Result = res
+	return *dr
+}
+
+func runSeed(sc Scenario, seed uint64, doctor bool) (Result, *DoctorRun) {
 	res := Result{Scenario: sc.Name, Seed: seed}
 
 	// Independent PRNG streams: workload script, schedule fuzzing, fault
@@ -107,7 +134,7 @@ func RunSeed(sc Scenario, seed uint64) Result {
 	script, err := buildScript(sc, wrk)
 	if err != nil {
 		res.Err = fmt.Errorf("chaos: building script: %w", err)
-		return res
+		return res, &DoctorRun{}
 	}
 
 	led := newLedger()
@@ -117,7 +144,7 @@ func RunSeed(sc Scenario, seed uint64) Result {
 	})
 	if err != nil {
 		res.Err = fmt.Errorf("chaos: building testbed: %w", err)
-		return res
+		return res, &DoctorRun{}
 	}
 	rec := trace.Of(env.S)
 	env.S.SetPicker(&fuzzPicker{rng: sched})
@@ -127,7 +154,7 @@ func RunSeed(sc Scenario, seed uint64) Result {
 	gpus, err := harness.SingleAppGPUs(env.Cluster, sc.Ranks)
 	if err != nil {
 		res.Err = fmt.Errorf("chaos: selecting GPUs: %w", err)
-		return res
+		return res, &DoctorRun{}
 	}
 
 	rankErrs := make([]error, sc.Ranks)
@@ -142,7 +169,16 @@ func RunSeed(sc Scenario, seed uint64) Result {
 		})
 	}
 
-	installInjectors(env, sc, inj, tune, gpus)
+	// The diagnosis engine attaches before the injectors so its recorder
+	// tap sees every span; it schedules no events and consumes no PRNG
+	// draws, so the fuzzed schedule is untouched.
+	var eng *diagnosis.Engine
+	if doctor {
+		eng = diagnosis.Attach(env.S, rec, telemetry.Of(env.S), diagnosis.DefaultConfig())
+	}
+
+	fl := &faultLog{}
+	installInjectors(env, sc, inj, tune, gpus, fl)
 
 	var orch *orchestrator.Orchestrator
 	var churnJobs []*orchestrator.Job
@@ -156,12 +192,19 @@ func RunSeed(sc Scenario, seed uint64) Result {
 	// failed run reports its replay coordinates.
 	res.TraceHash, res.Events = tr.hash, tr.n
 	res.Tail = append([]TraceEntry(nil), tr.tail...)
+	res.Faults = fl.recs
 
 	res.Err = checkInvariants(env, sc, led, simErr, rankErrs, finished, scriptComm, orch, churnJobs)
 	if res.Err != nil {
 		res.TracePath = dumpTrace(env, rec, sc, seed)
 	}
-	return res
+	dr := &DoctorRun{}
+	if doctor {
+		env.Fabric.FlushTrace() // emit any still-running flows before the final snapshot
+		dr.Report = eng.Finish()
+		dr.Recording = rec.Snapshot()
+	}
+	return res, dr
 }
 
 // chaosTraceCap bounds the per-seed flight-recorder ring. Chaos

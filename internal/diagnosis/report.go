@@ -1,0 +1,138 @@
+package diagnosis
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"mccs/internal/trace"
+)
+
+// timeline returns the incidents sorted by start time (ties by ID, which
+// is detection order). The sort is stable across runs, so both writers
+// are byte-deterministic for a fixed seed.
+func (r *Report) timeline() []Incident {
+	out := append([]Incident(nil), r.Incidents...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// jsonlHeader is the first line of the incident JSONL stream.
+type jsonlHeader struct {
+	Kind    string `json:"kind"`
+	Spans   uint64 `json:"spans"`
+	Dropped uint64 `json:"dropped"`
+	Ops     int    `json:"ops"`
+	Pending int    `json:"pending"`
+	Sweeps  uint64 `json:"sweeps"`
+	EndNS   int64  `json:"end_ns"`
+}
+
+// jsonlIncident pins the field order of one incident line. Times are
+// sim-time nanoseconds; identity fields keep their -1 sentinels so a
+// consumer can tell "rank 0" from "no rank".
+type jsonlIncident struct {
+	Kind       string  `json:"kind"`
+	ID         int     `json:"id"`
+	Detector   string  `json:"detector"`
+	Class      string  `json:"class"`
+	StartNS    int64   `json:"start_ns"`
+	EndNS      int64   `json:"end_ns"`
+	DetectedNS int64   `json:"detected_ns"`
+	Comm       int32   `json:"comm"`
+	Seq        uint64  `json:"seq"`
+	Op         string  `json:"op,omitempty"`
+	Rank       int32   `json:"rank"`
+	GPU        int32   `json:"gpu"`
+	Link       int32   `json:"link"`
+	LinkName   string  `json:"link_name,omitempty"`
+	Tenant     string  `json:"tenant,omitempty"`
+	Blamed     string  `json:"blamed"`
+	Confidence float64 `json:"confidence"`
+	Evidence   int     `json:"evidence"`
+	Detail     string  `json:"detail,omitempty"`
+}
+
+// WriteJSONL writes the incident timeline as JSON Lines: one header
+// record, then one record per incident in start order. Output is
+// byte-deterministic for a fixed seed.
+func (r *Report) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{
+		Kind: "doctor", Spans: r.Spans, Dropped: r.Dropped,
+		Ops: r.Ops, Pending: r.Pending, Sweeps: r.Sweeps, EndNS: int64(r.End),
+	}); err != nil {
+		return err
+	}
+	for _, in := range r.timeline() {
+		ji := jsonlIncident{
+			Kind: "incident", ID: in.ID,
+			Detector: in.Detector.String(), Class: in.Class.String(),
+			StartNS: int64(in.Start), EndNS: int64(in.End), DetectedNS: int64(in.Detected),
+			Comm: in.Comm, Seq: in.Seq,
+			Rank: in.Rank, GPU: in.GPU, Link: in.Link, LinkName: in.LinkName,
+			Tenant: in.Tenant, Blamed: in.Blamed,
+			Confidence: in.Confidence, Evidence: in.Evidence, Detail: in.Detail,
+		}
+		if in.Op >= 0 {
+			ji.Op = trace.OpName(in.Op)
+		}
+		if err := enc.Encode(ji); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteText writes the operator-facing report: a summary, a dropped-span
+// warning when the ring wrapped, and the incident timeline. Output is
+// byte-deterministic for a fixed seed.
+func (r *Report) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "MCCS DOCTOR REPORT\n")
+	fmt.Fprintf(bw, "  horizon %v | %d spans | %d ops closed, %d pending | %d sweeps\n",
+		r.End.Sub(0), r.Spans, r.Ops, r.Pending, r.Sweeps)
+	if r.Dropped > 0 {
+		fmt.Fprintf(bw, "  WARNING: %d spans dropped by ring wrap; evidence may be incomplete\n", r.Dropped)
+	}
+	if len(r.Incidents) == 0 {
+		fmt.Fprintf(bw, "  healthy: no incidents\n")
+		return bw.Flush()
+	}
+	by := r.ByClass()
+	fmt.Fprintf(bw, "  %d incidents:", len(r.Incidents))
+	for c, n := range by {
+		if n > 0 {
+			fmt.Fprintf(bw, " %s %d", Class(c), n)
+		}
+	}
+	fmt.Fprintf(bw, "\n\nINCIDENTS\n")
+	for _, in := range r.timeline() {
+		fmt.Fprintf(bw, "  #%-3d %-9s %-18s %v - %v (%v)\n",
+			in.ID, in.Detector, in.Class, in.Start.Sub(0), in.End.Sub(0), in.Dur())
+		fmt.Fprintf(bw, "       blamed: %s (confidence %.2f, evidence %d)\n",
+			in.Blamed, in.Confidence, in.Evidence)
+		if in.Tenant != "" || in.Comm != 0 {
+			fmt.Fprintf(bw, "       scope: ")
+			if in.Tenant != "" {
+				fmt.Fprintf(bw, "tenant %s ", in.Tenant)
+			}
+			if in.Comm != 0 {
+				fmt.Fprintf(bw, "comm %d seq %d", in.Comm, in.Seq)
+			}
+			fmt.Fprintf(bw, "\n")
+		}
+		if in.Detail != "" {
+			fmt.Fprintf(bw, "       %s\n", in.Detail)
+		}
+	}
+	return bw.Flush()
+}

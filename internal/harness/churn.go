@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mccs/internal/collective"
+	"mccs/internal/diagnosis"
 	"mccs/internal/ncclsim"
 	"mccs/internal/orchestrator"
 	"mccs/internal/sim"
@@ -54,6 +55,12 @@ type ChurnConfig struct {
 	// included) and writes JSONL (".prom" for Prometheus text).
 	TelemetryPath  string
 	TelemetryEvery time.Duration
+	// DoctorPath, when set, attaches the online diagnosis engine for the
+	// run and writes its health report there (incident JSONL when the
+	// path ends in ".jsonl", text timeline otherwise). Admission-queue
+	// waits and churn-triggered reconfigurations show up as incidents.
+	// Implies trace recording.
+	DoctorPath string
 }
 
 // DefaultChurnConfig is the mccs-churn CLI default: 8 jobs over the
@@ -170,7 +177,7 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 		cfg.MeanGap = 30 * time.Millisecond
 	}
 	traceCap := 0
-	if cfg.TracePath != "" {
+	if cfg.TracePath != "" || cfg.DoctorPath != "" {
 		traceCap = trace.DefaultCapacity
 	}
 	telemetryEvery := cfg.TelemetryEvery
@@ -183,6 +190,12 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	env, err := newTestbedEnvFull(cfg.System, cfg.Seed, nil, traceCap, telemetryEvery)
 	if err != nil {
 		return nil, err
+	}
+	var doctor *diagnosis.Engine
+	if cfg.DoctorPath != "" {
+		if doctor, err = AttachDoctor(env.S); err != nil {
+			return nil, err
+		}
 	}
 	orch := orchestrator.New(env.S, env.Cluster, env.Deployment, orchestrator.Config{
 		Quota:               cfg.Quota,
@@ -224,6 +237,11 @@ func RunChurn(cfg ChurnConfig) (*ChurnResult, error) {
 	}
 	if cfg.TelemetryPath != "" {
 		if err := WriteTelemetryFile(cfg.TelemetryPath, env.Telemetry); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DoctorPath != "" {
+		if err := WriteDoctorFile(cfg.DoctorPath, doctor, env.Fabric); err != nil {
 			return nil, err
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mccs/internal/collective"
+	"mccs/internal/diagnosis"
 	"mccs/internal/gpusim"
 	"mccs/internal/mccsd"
 	"mccs/internal/metrics"
@@ -112,9 +113,28 @@ func newTestbedEnvFull(system ncclsim.System, salt uint64, mutate func(*mccsd.Co
 	dep := mccsd.NewDeployment(s, cluster, fabric, cfg)
 	env := &Env{S: s, Cluster: cluster, Fabric: fabric, Deployment: dep}
 	if reg != nil {
+		registerTraceDropped(s, reg)
 		env.Telemetry = telemetry.StartSampler(s, reg, telemetryEvery)
 	}
 	return env, nil
+}
+
+// registerTraceDropped exports the flight recorder's ring-wrap loss as
+// mccs_trace_dropped_total so operators (and the doctor) can see when
+// span evidence is incomplete. The collector runs inside the sampler's
+// existing event, so the simulated schedule is untouched. No-op when
+// either plane is missing.
+func registerTraceDropped(s *sim.Scheduler, reg *telemetry.Registry) {
+	rec := trace.Of(s)
+	if rec == nil || reg == nil {
+		return
+	}
+	dropped := reg.Counter("mccs_trace_dropped_total", "spans")
+	reg.AddCollector(func(sim.Time) {
+		if d := int64(rec.Dropped()); d > dropped.Value() {
+			dropped.Add(d - dropped.Value())
+		}
+	})
 }
 
 // WriteTraceFile flushes still-active flows into the scheduler's flight
@@ -133,6 +153,47 @@ func WriteTraceFile(path string, s *sim.Scheduler, fabric *netsim.Fabric) error 
 		return err
 	}
 	if err := trace.WriteChrome(f, rec.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// AttachDoctor attaches the online diagnosis engine to a scheduler whose
+// flight recorder is already on, wiring in the telemetry registry when
+// one is attached. Harness drivers call it before the run starts when a
+// -doctor flag is set; the engine schedules no events, so the run is
+// byte-identical with or without it.
+func AttachDoctor(s *sim.Scheduler) (*diagnosis.Engine, error) {
+	rec := trace.Of(s)
+	if rec == nil {
+		return nil, fmt.Errorf("harness: doctor needs a trace recorder attached")
+	}
+	return diagnosis.Attach(s, rec, telemetry.Of(s), diagnosis.DefaultConfig()), nil
+}
+
+// WriteDoctorFile finalizes a live-attached diagnosis engine and writes
+// its report at path: incident JSONL when the path ends in ".jsonl", the
+// human-readable timeline otherwise. Still-active flows are flushed into
+// the recorder first so the final sweep sees their rate evidence.
+func WriteDoctorFile(path string, eng *diagnosis.Engine, fabric *netsim.Fabric) error {
+	if eng == nil {
+		return fmt.Errorf("harness: no diagnosis engine attached")
+	}
+	if fabric != nil {
+		fabric.FlushTrace()
+	}
+	rep := eng.Finish()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = rep.WriteJSONL(f)
+	} else {
+		err = rep.WriteText(f)
+	}
+	if err != nil {
 		f.Close()
 		return err
 	}
@@ -240,6 +301,11 @@ type SingleAppConfig struct {
 	// TelemetryEvery overrides the sampling interval
 	// (telemetry.DefaultInterval when zero).
 	TelemetryEvery time.Duration
+	// DoctorPath, when set, attaches the online diagnosis engine to the
+	// first trial and writes its health report there (incident JSONL when
+	// the path ends in ".jsonl", text timeline otherwise). Implies trace
+	// recording for that trial; later trials run undoctored.
+	DoctorPath string
 	// Autotune runs the strategy autotuner once after communicator
 	// setup and installs the winning strategy before the measured loop
 	// (the -autotune flag of mccs-bench). Requires a service-mode
@@ -273,6 +339,7 @@ func RunSingleApp(cfg SingleAppConfig) (SingleAppResult, error) {
 		if trial > 0 {
 			tcfg.TracePath = ""
 			tcfg.TelemetryPath = ""
+			tcfg.DoctorPath = ""
 		}
 		vals, err := runSingleTrial(tcfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15)
 		if err != nil {
@@ -349,6 +416,7 @@ func runSingleMutated(cfg SingleAppConfig, mutate func(*mccsd.Config)) (SingleAp
 		if trial > 0 {
 			tcfg.TracePath = ""
 			tcfg.TelemetryPath = ""
+			tcfg.DoctorPath = ""
 		}
 		vals, err := runSingleTrialMutated(tcfg, cfg.Seed+uint64(trial)*0x9e3779b97f4a7c15, mutate)
 		if err != nil {
@@ -374,7 +442,7 @@ func runSingleTrial(cfg SingleAppConfig, salt uint64) ([]float64, error) {
 
 func runSingleTrialMutated(cfg SingleAppConfig, salt uint64, mutate func(*mccsd.Config)) ([]float64, error) {
 	traceCap := 0
-	if cfg.TracePath != "" {
+	if cfg.TracePath != "" || cfg.DoctorPath != "" {
 		traceCap = trace.DefaultCapacity
 	}
 	telemetryEvery := time.Duration(0)
@@ -387,6 +455,12 @@ func runSingleTrialMutated(cfg SingleAppConfig, salt uint64, mutate func(*mccsd.
 	env, err := newTestbedEnvFull(cfg.System, salt, mutate, traceCap, telemetryEvery)
 	if err != nil {
 		return nil, err
+	}
+	var doctor *diagnosis.Engine
+	if cfg.DoctorPath != "" {
+		if doctor, err = AttachDoctor(env.S); err != nil {
+			return nil, err
+		}
 	}
 	gpus, err := SingleAppGPUs(env.Cluster, cfg.NumGPUs)
 	if err != nil {
@@ -508,6 +582,11 @@ func runSingleTrialMutated(cfg SingleAppConfig, salt uint64, mutate func(*mccsd.
 	}
 	if cfg.TelemetryPath != "" {
 		if err := WriteTelemetryFile(cfg.TelemetryPath, env.Telemetry); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DoctorPath != "" {
+		if err := WriteDoctorFile(cfg.DoctorPath, doctor, env.Fabric); err != nil {
 			return nil, err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"mccs/internal/collective"
+	"mccs/internal/diagnosis"
 	"mccs/internal/mccsd"
 	"mccs/internal/ncclsim"
 	"mccs/internal/netsim"
@@ -50,6 +51,12 @@ type ReconfigConfig struct {
 	// TelemetryPath still samples — the series is then only available
 	// through ReconfigResult.Telemetry.
 	TelemetryEvery time.Duration
+	// DoctorPath, when set, attaches the online diagnosis engine for the
+	// run and writes its health report there (incident JSONL when the
+	// path ends in ".jsonl", text timeline otherwise). The report shows
+	// the background flow as a degraded/contended-link episode and the
+	// ring reversal as a reconfiguration barrier. Implies trace recording.
+	DoctorPath string
 	// Autotune replaces the hand-coded ring reversal at ReconfigAt with
 	// a full autotuner pass: the cost model reads the background flow's
 	// external load off the fabric and the search rediscovers the
@@ -98,7 +105,7 @@ func RunReconfigShowcase(cfg ReconfigConfig) (ReconfigResult, error) {
 		return ReconfigResult{}, err
 	}
 	s := sim.New()
-	if cfg.TracePath != "" {
+	if cfg.TracePath != "" || cfg.DoctorPath != "" {
 		trace.Attach(s, trace.NewRecorder(trace.LevelFull, trace.DefaultCapacity))
 	}
 	var reg *telemetry.Registry
@@ -118,11 +125,19 @@ func RunReconfigShowcase(cfg ReconfigConfig) (ReconfigResult, error) {
 	dep := mccsd.NewDeployment(s, cluster, fabric, svcCfg)
 	var sampler *telemetry.Sampler
 	if reg != nil {
+		registerTraceDropped(s, reg)
 		every := cfg.TelemetryEvery
 		if every <= 0 {
 			every = telemetry.DefaultInterval
 		}
 		sampler = telemetry.StartSampler(s, reg, every)
+	}
+	var doctor *diagnosis.Engine
+	if cfg.DoctorPath != "" {
+		var err error
+		if doctor, err = AttachDoctor(s); err != nil {
+			return ReconfigResult{}, err
+		}
 	}
 
 	var gpus []topo.GPUID
@@ -242,6 +257,11 @@ func RunReconfigShowcase(cfg ReconfigConfig) (ReconfigResult, error) {
 	}
 	if cfg.TelemetryPath != "" {
 		if err := WriteTelemetryFile(cfg.TelemetryPath, sampler); err != nil {
+			return ReconfigResult{}, err
+		}
+	}
+	if cfg.DoctorPath != "" {
+		if err := WriteDoctorFile(cfg.DoctorPath, doctor, fabric); err != nil {
 			return ReconfigResult{}, err
 		}
 	}

@@ -35,6 +35,11 @@ type CongestionWatcher struct {
 	remediated map[netsim.LinkID]bool
 	// Remediations counts actions taken, for tests and dashboards.
 	Remediations int
+	// OnRemediate, when set, is called once per remediation action, at
+	// the moment the watcher decides to act (before routes change). The
+	// chaos harness uses it to timestamp remediation-driven
+	// reconfigurations as ground truth for the diagnosis engine.
+	OnRemediate func()
 }
 
 // NewCongestionWatcher builds a watcher with the controller's deployment.
@@ -118,6 +123,9 @@ func (w *CongestionWatcher) remediate(ci spec.CommInfo, bad map[netsim.LinkID]bo
 		return
 	}
 	w.Remediations++
+	if w.OnRemediate != nil {
+		w.OnRemediate()
+	}
 	// Path diversity available? Re-pin the affected connections onto the
 	// first equal-cost path that avoids every congested link.
 	canReroute := true

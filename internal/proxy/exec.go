@@ -247,6 +247,7 @@ func (r *Runner) runHD(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
 		}
 		r.comm.telSteps.Inc()
 		var stepStart sim.Time
+		var busy sim.Duration
 		if traceSteps {
 			stepStart = p.Now()
 		}
@@ -270,7 +271,9 @@ func (r *Runner) runHD(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
 			if st.RecvReduce {
 				passes = 2.0
 			}
-			p.Sleep(r.dev.TransferTime(st.RecvLen*4, passes))
+			dt := r.dev.TransferTime(st.RecvLen*4, passes)
+			p.Sleep(dt)
+			busy += dt
 			if d.Data != nil && backed {
 				off := chStart + st.RecvLo
 				dst := op.RecvBuf.Data()[off : off+st.RecvLen]
@@ -289,7 +292,7 @@ func (r *Runner) runHD(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
 		if traceSteps {
 			rec.Emit(trace.Span{
 				Kind: trace.KindStep, Op: int32(op.Op),
-				Start: stepStart, End: p.Now(),
+				Start: stepStart, End: p.Now(), Busy: busy,
 				Host: int32(r.comm.Info.Ranks[r.rank].Host),
 				GPU:  int32(r.comm.Info.Ranks[r.rank].GPU),
 				Comm: int32(r.comm.Info.ID), Rank: int32(r.rank), Peer: int32(st.Peer),
@@ -367,6 +370,7 @@ func (r *Runner) runChannel(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
 			Op: int32(op.Op), Seq: op.seq,
 		}
 		var stepStart sim.Time
+		var busy sim.Duration
 		if traceSteps {
 			stepStart = p.Now()
 		}
@@ -406,7 +410,9 @@ func (r *Runner) runChannel(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
 				if st.RecvReduce {
 					passes = 2.0
 				}
-				p.Sleep(r.dev.TransferTime(l*4, passes))
+				dt := r.dev.TransferTime(l*4, passes)
+				p.Sleep(dt)
+				busy += dt
 				if d.Data != nil && backed {
 					dst := op.RecvBuf.Data()[off : off+l]
 					if int64(len(d.Data)) != l {
@@ -425,7 +431,7 @@ func (r *Runner) runChannel(p *sim.Proc, op *OpRequest, cs *connSet, ch int) {
 		if traceSteps {
 			rec.Emit(trace.Span{
 				Kind: trace.KindStep, Op: int32(op.Op),
-				Start: stepStart, End: p.Now(),
+				Start: stepStart, End: p.Now(), Busy: busy,
 				Host: int32(r.comm.Info.Ranks[r.rank].Host),
 				GPU:  int32(r.comm.Info.Ranks[r.rank].GPU),
 				Comm: int32(r.comm.Info.ID), Rank: int32(r.rank), Peer: int32(sendPeer),

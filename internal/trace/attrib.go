@@ -278,6 +278,9 @@ func Summarize(w io.Writer, rec Recording) error {
 		fmt.Fprintf(w, " (%d dropped by ring wrap)", rec.Dropped)
 	}
 	fmt.Fprintln(w)
+	if rec.Dropped > 0 {
+		fmt.Fprintf(w, "WARNING: %d spans were overwritten by ring wrap; attribution below may be incomplete (record with a larger trace capacity)\n", rec.Dropped)
+	}
 	for k := Kind(0); k < Kind(len(kindNames)); k++ {
 		if counts[k] > 0 {
 			fmt.Fprintf(w, "  %-8s %d\n", k.String(), counts[k])

@@ -46,6 +46,7 @@ type spanJSON struct {
 	Op      int32      `json:"op"`
 	Start   int64      `json:"b"`
 	End     int64      `json:"e"`
+	Busy    int64      `json:"bz,omitempty"`
 	Host    int32      `json:"h"`
 	GPU     int32      `json:"g"`
 	Comm    int32      `json:"c"`
@@ -67,7 +68,7 @@ type spanJSON struct {
 func toJSON(sp *Span) spanJSON {
 	j := spanJSON{
 		Kind: uint8(sp.Kind), Op: sp.Op,
-		Start: int64(sp.Start), End: int64(sp.End),
+		Start: int64(sp.Start), End: int64(sp.End), Busy: int64(sp.Busy),
 		Host: sp.Host, GPU: sp.GPU, Comm: sp.Comm, Rank: sp.Rank, Peer: sp.Peer,
 		Channel: sp.Channel, Gen: sp.Gen, Step: sp.Step, Seq: sp.Seq,
 		Flow: sp.Flow, Bytes: sp.Bytes, Src: sp.Src, Dst: sp.Dst,
@@ -88,7 +89,7 @@ func toJSON(sp *Span) spanJSON {
 func fromJSON(j *spanJSON) Span {
 	sp := Span{
 		Kind: Kind(j.Kind), Op: j.Op,
-		Start: sim.Time(j.Start), End: sim.Time(j.End),
+		Start: sim.Time(j.Start), End: sim.Time(j.End), Busy: sim.Duration(j.Busy),
 		Host: j.Host, GPU: j.GPU, Comm: j.Comm, Rank: j.Rank, Peer: j.Peer,
 		Channel: j.Channel, Gen: j.Gen, Step: j.Step, Seq: j.Seq,
 		Flow: j.Flow, Bytes: j.Bytes, Src: j.Src, Dst: j.Dst,

@@ -169,6 +169,14 @@ type Span struct {
 	Start sim.Time
 	End   sim.Time
 
+	// Busy is the portion of the span the emitting rank spent in local
+	// GPU work (recv processing, reductions) rather than blocked on
+	// peers or the fabric. Set for KindStep; zero elsewhere. A slow GPU
+	// stretches Busy by exactly its slowdown factor while network
+	// faults leave it untouched, which is what lets the diagnosis
+	// engine separate slow-GPU from congested-link root causes.
+	Busy sim.Duration
+
 	Host    int32 // -1 when resolvable from GPU/Src via Meta
 	GPU     int32
 	Comm    int32
@@ -231,6 +239,7 @@ type Recorder struct {
 	buf   []Span
 	head  int    // index of the oldest span once the ring has wrapped
 	total uint64 // spans ever emitted (kept + dropped)
+	tap   func(*Span)
 	meta  Meta
 }
 
@@ -288,15 +297,38 @@ func (r *Recorder) Emit(sp Span) {
 		return
 	}
 	r.total++
+	var slot *Span
 	if len(r.buf) < cap(r.buf) {
 		r.buf = append(r.buf, sp)
+		slot = &r.buf[len(r.buf)-1]
+	} else {
+		r.buf[r.head] = sp
+		slot = &r.buf[r.head]
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+	}
+	if r.tap != nil {
+		// The tap observes the span already stored in the ring, so the
+		// pointer aliases recorder-owned memory: consumers must copy
+		// anything they keep. Because the tap fires after the ring write,
+		// it sees every admitted span — including ones later overwritten
+		// by wrap-around — which makes tap consumers immune to drops.
+		r.tap(slot)
+	}
+}
+
+// SetTap installs a second consumer that observes every admitted span
+// at emission time (the diagnosis engine's live feed). The pointer is
+// only valid for the duration of the call; fn must not retain it. A nil
+// fn removes the tap. Installing a tap schedules no simulator events,
+// so it is schedule-neutral by construction.
+func (r *Recorder) SetTap(fn func(*Span)) {
+	if r == nil {
 		return
 	}
-	r.buf[r.head] = sp
-	r.head++
-	if r.head == len(r.buf) {
-		r.head = 0
-	}
+	r.tap = fn
 }
 
 // Len returns the number of spans currently held.
@@ -412,6 +444,7 @@ func (rec Recording) Fingerprint() uint64 {
 		w64(uint64(uint32(sp.Op)))
 		w64(uint64(sp.Start))
 		w64(uint64(sp.End))
+		w64(uint64(sp.Busy))
 		w64(uint64(uint32(sp.Host)))
 		w64(uint64(uint32(sp.GPU)))
 		w64(uint64(uint32(sp.Comm)))
