@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt test vet race race-hot check chaos bench bench-json bench-sim-json trace telemetry churn doctor
+.PHONY: all build fmt test vet race race-hot check chaos bench bench-json bench-sim-json trace telemetry churn doctor self-heal
 
 all: check
 
@@ -29,7 +29,7 @@ race:
 # orchestrator, and the diagnosis engine (whose recorder tap runs inside
 # span emission) — running them twice under the detector.
 race-hot:
-	$(GO) test -race -count=2 ./internal/sim/ ./internal/collective/ ./internal/proxy/ ./internal/tuner/ ./internal/orchestrator/ ./internal/diagnosis/
+	$(GO) test -race -count=2 ./internal/sim/ ./internal/collective/ ./internal/proxy/ ./internal/tuner/ ./internal/orchestrator/ ./internal/diagnosis/ ./internal/remediation/
 
 # check is the CI gate: everything must build, vet clean, and pass the
 # full test suite twice — once plain, once under the race detector.
@@ -54,8 +54,13 @@ bench-json:
 # BENCH.sim.json; DESIGN.md §10 quotes these entries and CI uploads the
 # file as a build artifact. The pooled paths must report 0 allocs/op
 # (asserted by TestHotPathsDoNotAllocate as well).
+# The remediation-loop entry measures the full closed detect→diagnose→
+# recover loop (chaos self-heal with the control loop attached) against
+# its no-loop baseline, so control-plane overhead regressions surface in
+# the same artifact.
 bench-sim-json:
-	$(GO) test -run '^$$' -bench BenchmarkSimCore -benchtime=10000x ./internal/sim/ | $(GO) run ./cmd/mccs-benchjson > BENCH.sim.json
+	( $(GO) test -run '^$$' -bench BenchmarkSimCore -benchtime=10000x ./internal/sim/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkRemediationLoop|BenchmarkSelfHealBaseline' -benchtime=3x ./internal/remediation/ ) | $(GO) run ./cmd/mccs-benchjson > BENCH.sim.json
 
 # trace records a short Fig. 7 reconfiguration run with the flight
 # recorder and prints the bottleneck-attribution summary. The JSON also
@@ -79,6 +84,13 @@ telemetry:
 doctor:
 	$(GO) run ./cmd/mccs-reconfig -run 6s -bg 2s -reconfig 4s -trace doctor.trace.json -telemetry doctor.telemetry.jsonl -doctor doctor.incidents.jsonl
 	$(GO) run ./cmd/mccs-doctor doctor.trace.json doctor.telemetry.jsonl
+
+# self-heal runs the closed-loop recovery smoke (DESIGN.md §15): the
+# chaos self-heal scenario with the diagnosis engine and the remediation
+# daemon attached, sweeping a few seeds and writing the deterministic
+# remediation event log CI uploads as an artifact.
+self-heal:
+	$(GO) run ./cmd/mccs-selfheal -seeds 4 -jsonl selfheal.remediation.jsonl
 
 # churn runs the tenant-lifecycle smoke (DESIGN.md §13): the default
 # 8-job seeded arrival stream with churn-triggered reconfiguration,

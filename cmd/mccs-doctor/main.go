@@ -2,7 +2,11 @@
 // diagnosis engine and prints the incident timeline: hung collectives,
 // straggler GPUs, degraded links, reconfiguration stalls, SLO breach
 // episodes and admission queueing, each attributed to a blamed entity
-// with a confidence score.
+// with a confidence score. When the recording carries remediation spans
+// (a run with the self-healing control loop attached — mccs-selfheal or
+// harness.AttachRemediation), incidents additionally report when they
+// were remediated and recovered, and the report closes with a
+// SELF-HEALING section giving the median time-to-recover.
 //
 //	mccs-doctor trace.json                    # text timeline to stdout
 //	mccs-doctor trace.json telemetry.jsonl    # + SLO violations from telemetry
@@ -89,7 +93,9 @@ Replays a flight-recorder dump (Chrome trace-event JSON from the -trace
 or -doctor flags of mccs-bench / mccs-reconfig / mccs-churn, or a chaos
 failure dump) through the health diagnosis engine and prints the
 incident timeline. Pass the matching -telemetry JSONL as a second
-argument to fold SLO violations into the diagnosis.
+argument to fold SLO violations into the diagnosis. Recordings from
+runs with the self-healing loop attached additionally carry per-incident
+remediation/recovery timestamps and a median time-to-recover summary.
 `)
 	flag.PrintDefaults()
 }

@@ -8,12 +8,16 @@
 // series.
 //
 // Sections always render in a fixed order — TENANT, SCHED, TUNER,
-// HEALTH, BUSIEST LINKS, SLO VIOLATIONS — and the tenant-keyed sections
-// share one first-column width, so the layout is identical whether a
-// series comes from a file or a -live run and whichever sections have
-// data. HEALTH appears when the run had the diagnosis engine attached
-// (a -doctor flag): open incidents, per-class totals, and each tenant's
-// last diagnosed root cause.
+// HEALTH, REMEDIATION, BUSIEST LINKS, SLO VIOLATIONS — and the
+// tenant-keyed sections share one first-column width, so the layout is
+// identical whether a series comes from a file or a -live run and
+// whichever sections have data. HEALTH appears when the run had the
+// diagnosis engine attached (a -doctor flag): open incidents, per-class
+// totals, and each tenant's last diagnosed root cause. REMEDIATION
+// appears when the self-healing control loop ran (mccs-selfheal, or a
+// harness with remediation attached): links currently quarantined,
+// quarantine/readmission/suppression totals, and per-action recovery
+// counts (re-pin, ring reversal, re-tune, degrade, FFA re-run).
 package main
 
 import (
@@ -118,6 +122,7 @@ func render(w io.Writer, se *telemetry.Series, opt options) {
 	renderSched(w, se, s, lw)
 	renderTuner(w, se, s, lw)
 	renderHealth(w, se, s, lw)
+	renderRemediation(w, se, s, lw)
 	renderLinks(w, se, s, opt.topLinks)
 	renderViolations(w, se, opt.topViolations)
 }
@@ -406,6 +411,67 @@ func renderHealth(w io.Writer, se *telemetry.Series, s []telemetry.Sample, lw in
 	}
 	if v.Dropped > 0 {
 		fmt.Fprintf(w, "%-*s %.0f trace spans dropped by ring wrap; diagnosis evidence may be incomplete\n", lw, "WARNING", v.Dropped)
+	}
+}
+
+// remediationView is the self-healing control loop's state at the end
+// of the window; present is false when the series has no remediation
+// metrics (runs without the control loop attached).
+type remediationView struct {
+	present     bool
+	Quarantined float64 // links quarantined right now
+	Quarantines float64
+	Readmitted  float64
+	Suppressed  float64
+	ByAction    []classCount
+}
+
+func remediationRows(se *telemetry.Series, s []telemetry.Sample) remediationView {
+	last := s[len(s)-1]
+	var v remediationView
+	one := func(name string) float64 {
+		cols := se.FindCols(name)
+		if len(cols) == 0 {
+			return 0
+		}
+		v.present = true
+		return se.Value(last, cols[0])
+	}
+	v.Quarantined = one("mccs_remediation_quarantined_links")
+	v.Quarantines = one("mccs_remediation_quarantines_total")
+	v.Readmitted = one("mccs_remediation_readmissions_total")
+	v.Suppressed = one("mccs_remediation_suppressed_total")
+	for _, c := range se.FindCols("mccs_remediation_actions_total", telemetry.L("action", "")) {
+		v.present = true
+		if n := se.Value(last, c); n > 0 {
+			v.ByAction = append(v.ByAction, classCount{Class: se.LabelValue(c, "action"), Count: n})
+		}
+	}
+	sort.Slice(v.ByAction, func(i, j int) bool {
+		if v.ByAction[i].Count != v.ByAction[j].Count {
+			return v.ByAction[i].Count > v.ByAction[j].Count
+		}
+		return v.ByAction[i].Class < v.ByAction[j].Class
+	})
+	return v
+}
+
+func renderRemediation(w io.Writer, se *telemetry.Series, s []telemetry.Sample, lw int) {
+	v := remediationRows(se, s)
+	if !v.present {
+		return
+	}
+	fmt.Fprintf(w, "\n%-*s %8s %10s %10s %10s\n", lw, "REMEDIATION", "QUAR", "EPISODES", "READMITTED", "SUPPRESSED")
+	fmt.Fprintf(w, "%-*s %8.0f %10.0f %10.0f %10.0f\n", lw, "healer", v.Quarantined, v.Quarantines, v.Readmitted, v.Suppressed)
+	if len(v.ByAction) > 0 {
+		parts := make([]string, len(v.ByAction))
+		for i, c := range v.ByAction {
+			parts[i] = fmt.Sprintf("%s %.0f", c.Class, c.Count)
+		}
+		fmt.Fprintf(w, "%-*s %s\n", lw, "by action", strings.Join(parts, " / "))
+	}
+	if v.Quarantined > 0 {
+		fmt.Fprintf(w, "%-*s %.0f link(s) still quarantined at window end; recovery incomplete\n", lw, "WARNING", v.Quarantined)
 	}
 }
 

@@ -323,3 +323,76 @@ func TestWindowLastN(t *testing.T) {
 		t.Errorf("lastN=0 must keep the whole series")
 	}
 }
+
+// healSeries extends schedSeries with the self-healing control loop's
+// metrics: one link quarantined at window end, three quarantine
+// episodes of which two re-admitted and one opportunity suppressed by
+// the action cap, recovered via two re-pins and one ring reversal.
+func healSeries() *telemetry.Series {
+	se := schedSeries()
+	heal := []telemetry.Column{
+		{Name: "mccs_remediation_quarantined_links", Unit: "links", Kind: "gauge"},
+		{Name: "mccs_remediation_quarantines_total", Unit: "links", Kind: "counter"},
+		{Name: "mccs_remediation_readmissions_total", Unit: "links", Kind: "counter"},
+		{Name: "mccs_remediation_suppressed_total", Unit: "opportunities", Kind: "counter"},
+		{Name: "mccs_remediation_actions_total", Unit: "actions", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("action", "repin")}},
+		{Name: "mccs_remediation_actions_total", Unit: "actions", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("action", "reverse")}},
+		{Name: "mccs_remediation_actions_total", Unit: "actions", Kind: "counter",
+			Labels: []telemetry.Label{telemetry.L("action", "degrade")}},
+	}
+	se.Cols = append(se.Cols, heal...)
+	rtail := [][]float64{
+		{0, 0, 0, 0, 0, 0, 0},
+		{1, 2, 1, 0, 1, 1, 0},
+		{1, 3, 2, 1, 2, 1, 0},
+	}
+	for i := range se.Samples {
+		se.Samples[i].V = append(se.Samples[i].V, rtail[i]...)
+	}
+	return se
+}
+
+func TestRemediationRows(t *testing.T) {
+	se := healSeries()
+	v := remediationRows(se, se.Samples)
+	if !v.present {
+		t.Fatal("remediation metrics not detected")
+	}
+	if v.Quarantined != 1 || v.Quarantines != 3 || v.Readmitted != 2 || v.Suppressed != 1 {
+		t.Errorf("quar/episodes/readmit/suppressed = %g/%g/%g/%g, want 1/3/2/1",
+			v.Quarantined, v.Quarantines, v.Readmitted, v.Suppressed)
+	}
+	// Zero-valued actions (degrade) are dropped; ties and counts sort
+	// descending then by name.
+	want := []classCount{{"repin", 2}, {"reverse", 1}}
+	if len(v.ByAction) != 2 || v.ByAction[0] != want[0] || v.ByAction[1] != want[1] {
+		t.Errorf("by action = %+v, want %+v", v.ByAction, want)
+	}
+	if w := remediationRows(synthetic(), synthetic().Samples); w.present {
+		t.Error("remediation view present in a series with no control-loop metrics")
+	}
+}
+
+// TestRenderRemediationSection pins the REMEDIATION section's layout and
+// its position between HEALTH and BUSIEST LINKS.
+func TestRenderRemediationSection(t *testing.T) {
+	var b strings.Builder
+	render(&b, healSeries(), options{topLinks: 5, topViolations: 5})
+	out := b.String()
+	want := `REMEDIATION          QUAR   EPISODES READMITTED SUPPRESSED
+healer                  1          3          2          1
+by action        repin 2 / reverse 1
+WARNING          1 link(s) still quarantined at window end; recovery incomplete
+`
+	if !strings.Contains(out, want) {
+		t.Errorf("missing remediation section:\n--- got ---\n%s--- want fragment ---\n%s", out, want)
+	}
+	h := strings.Index(out, "\nHEALTH")
+	r := strings.Index(out, "\nREMEDIATION")
+	l := strings.Index(out, "\nBUSIEST LINKS")
+	if !(h >= 0 && h < r && r < l) {
+		t.Errorf("section order wrong: HEALTH@%d REMEDIATION@%d LINKS@%d", h, r, l)
+	}
+}

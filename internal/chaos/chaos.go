@@ -165,6 +165,23 @@ func DoctorStraggler() Scenario {
 	}
 }
 
+// SelfHeal is the closed-loop recovery scenario: megabyte collectives
+// (so link faults are observable in flow telemetry, like
+// DoctorStraggler), seed-scheduled link flaps drawn from the dedicated
+// heal PRNG stream, and — via RunSeedHealed — the diagnosis engine plus
+// the remediation engine attached live, so every injected fault must be
+// detected, quarantined, remediated and re-admitted within the run.
+// Not part of Scenarios(): the corpus stresses protocol invariants,
+// this validates the detect→diagnose→recover loop.
+func SelfHeal() Scenario {
+	return Scenario{
+		Name:  "self-heal",
+		Ranks: 4, Ops: 12, MaxCount: 1 << 18, Depth: 2,
+		LinkFlaps: 2,
+		Horizon:   12 * time.Millisecond,
+	}
+}
+
 // Clean is a fault-free control: the link-flap workload shape with no
 // injectors at all. The diagnosis false-positive tests require zero
 // incidents on it; it is deliberately not part of Scenarios() (nothing

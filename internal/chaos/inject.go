@@ -93,15 +93,24 @@ func injectAutotune(env *harness.Env, sc Scenario, tune *rand.Rand, fl *faultLog
 }
 
 // injectLinkFlaps degrades random fabric links to a fraction of their
-// capacity (including full blackouts) for a bounded window. Restores
-// always go back to the capacity snapshotted before any flap, so
-// overlapping flaps on the same link cannot strand it degraded.
+// capacity (including full blackouts) for a bounded window. Each link
+// tracks a fault-nesting count: the first flap to touch it snapshots
+// the exact pre-fault state (netsim.LinkState) and the last active flap
+// to expire restores that snapshot — never an install-time or
+// recomputed value — so back-to-back and overlapping injections on the
+// same link compose, and a restore cannot clobber capacity changes made
+// between episodes by other actors.
 func injectLinkFlaps(env *harness.Env, sc Scenario, inj *rand.Rand, fl *faultLog) {
 	net := env.Cluster.Net
 	orig := make([]float64, net.NumLinks())
 	for i := range orig {
 		orig[i] = net.Link(netsim.LinkID(i)).Capacity
 	}
+	type faultNest struct {
+		active int
+		pre    netsim.LinkState
+	}
+	nests := make(map[netsim.LinkID]*faultNest)
 	fracs := []float64{0, 0.05, 0.3}
 	for i := 0; i < sc.LinkFlaps; i++ {
 		l := netsim.LinkID(inj.Intn(net.NumLinks()))
@@ -111,10 +120,23 @@ func injectLinkFlaps(env *harness.Env, sc Scenario, inj *rand.Rand, fl *faultLog
 		fl.add(FaultRecord{Kind: "link-flap", Start: sim.Time(at), End: sim.Time(at + dur),
 			Link: int32(l), Rank: -1, Frac: frac})
 		env.S.At(sim.Time(at), func() {
+			n := nests[l]
+			if n == nil {
+				n = &faultNest{}
+				nests[l] = n
+			}
+			if n.active == 0 {
+				n.pre = env.Fabric.SnapshotLink(l)
+			}
+			n.active++
 			env.Fabric.SetLinkCapacity(l, orig[l]*frac)
 		})
 		env.S.At(sim.Time(at+dur), func() {
-			env.Fabric.SetLinkCapacity(l, orig[l])
+			n := nests[l]
+			n.active--
+			if n.active == 0 {
+				env.Fabric.RestoreLink(n.pre)
+			}
 		})
 	}
 }

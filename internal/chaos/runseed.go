@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"mccs/internal/mccsd"
 	"mccs/internal/ncclsim"
 	"mccs/internal/orchestrator"
+	"mccs/internal/remediation"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
 	"mccs/internal/telemetry"
@@ -87,11 +89,23 @@ type fuzzPicker struct{ rng *rand.Rand }
 
 func (f *fuzzPicker) Pick(n int) int { return f.rng.Intn(n) }
 
+// runOpts selects the optional observers/controllers a run attaches.
+type runOpts struct {
+	// doctor attaches the diagnosis engine live.
+	doctor bool
+	// heal attaches the self-healing remediation engine (implies doctor:
+	// the control loop subscribes to its verdicts) and draws the fault
+	// plan from the dedicated heal PRNG stream instead of inj, so the
+	// self-heal fault corpus is independent of the link-flap corpus.
+	heal    bool
+	healCfg remediation.Config
+}
+
 // RunSeed executes one seeded chaos run and checks every invariant.
 // The same (scenario, seed) pair always produces the identical event
 // trace, so any failure replays exactly.
 func RunSeed(sc Scenario, seed uint64) Result {
-	res, _ := runSeed(sc, seed, false)
+	res, _ := runSeed(sc, seed, runOpts{})
 	return res
 }
 
@@ -103,6 +117,10 @@ type DoctorRun struct {
 	Result
 	Report    *diagnosis.Report
 	Recording trace.Recording
+	// Remediation and Telemetry (the final Prometheus-format registry
+	// export) are set only on RunSeedHealed runs.
+	Remediation *remediation.Report
+	Telemetry   []byte
 }
 
 // RunSeedDiagnosed is RunSeed with the diagnosis engine attached live
@@ -110,12 +128,41 @@ type DoctorRun struct {
 // events, so the run's trace hash is identical to RunSeed's — the
 // neutrality test pins that against the corpus hashes.
 func RunSeedDiagnosed(sc Scenario, seed uint64) DoctorRun {
-	res, dr := runSeed(sc, seed, true)
+	res, dr := runSeed(sc, seed, runOpts{doctor: true})
 	dr.Result = res
 	return *dr
 }
 
-func runSeed(sc Scenario, seed uint64, doctor bool) (Result, *DoctorRun) {
+// HealRun couples a chaos Result with the reports of the live-attached
+// diagnosis and remediation engines.
+type HealRun struct {
+	Result
+	Doctor      *diagnosis.Report
+	Remediation *remediation.Report
+	Recording   trace.Recording
+	// Telemetry is the final Prometheus-format registry export, for the
+	// byte-determinism acceptance check.
+	Telemetry []byte
+}
+
+// RunSeedHealed is RunSeed with the full self-healing loop attached:
+// the diagnosis engine taps the flight recorder, and the remediation
+// engine subscribes to its verdicts and to link health, driving
+// recovery while the faults play out. The fault plan is drawn from the
+// dedicated heal PRNG stream.
+func RunSeedHealed(sc Scenario, seed uint64) HealRun {
+	return RunSeedHealedConfig(sc, seed, remediation.DefaultConfig())
+}
+
+// RunSeedHealedConfig is RunSeedHealed with explicit control-loop
+// tuning (the flapping-link backoff tests shrink MaxActions).
+func RunSeedHealedConfig(sc Scenario, seed uint64, cfg remediation.Config) HealRun {
+	res, dr := runSeed(sc, seed, runOpts{doctor: true, heal: true, healCfg: cfg})
+	return HealRun{Result: res, Doctor: dr.Report, Recording: dr.Recording,
+		Remediation: dr.Remediation, Telemetry: dr.Telemetry}
+}
+
+func runSeed(sc Scenario, seed uint64, opts runOpts) (Result, *DoctorRun) {
 	res := Result{Scenario: sc.Name, Seed: seed}
 
 	// Independent PRNG streams: workload script, schedule fuzzing, fault
@@ -128,8 +175,13 @@ func runSeed(sc Scenario, seed uint64, doctor bool) (Result, *DoctorRun) {
 	inj := randStream(seed, 0x94d049bb133111eb, 3)
 	tune := randStream(seed, 0x2545f4914f6cdd1d, 4)
 	// The churn stream is drawn only by scenarios with Churn > 0, so the
-	// existing corpus replays byte-identically.
+	// existing corpus replays byte-identically; likewise the heal stream
+	// is drawn only by self-heal runs, which use it in place of inj so
+	// their fault plans are independent of the link-flap corpus.
 	churn := randStream(seed, 0xd6e8feb86659fd93, 5)
+	if opts.heal {
+		inj = randStream(seed, 0xda942042e4dd58b5, 6)
+	}
 
 	script, err := buildScript(sc, wrk)
 	if err != nil {
@@ -173,8 +225,20 @@ func runSeed(sc Scenario, seed uint64, doctor bool) (Result, *DoctorRun) {
 	// tap sees every span; it schedules no events and consumes no PRNG
 	// draws, so the fuzzed schedule is untouched.
 	var eng *diagnosis.Engine
-	if doctor {
+	if opts.doctor {
 		eng = diagnosis.Attach(env.S, rec, telemetry.Of(env.S), diagnosis.DefaultConfig())
+	}
+
+	// The remediation engine also attaches pre-fault (it snapshots
+	// nominal link capacities); its daemon stops on a fixed virtual-time
+	// event past the fault horizon so quarantined links can finish
+	// probation and re-admit before the run drains.
+	var heal *remediation.Engine
+	if opts.heal {
+		heal = remediation.Attach(env.S, env.Deployment, eng, opts.healCfg)
+		stop := &sim.Event{}
+		heal.Start(stop)
+		env.S.At(sim.Time(sc.Horizon+sc.Horizon/2), func() { stop.Signal(env.S) })
 	}
 
 	fl := &faultLog{}
@@ -199,10 +263,17 @@ func runSeed(sc Scenario, seed uint64, doctor bool) (Result, *DoctorRun) {
 		res.TracePath = dumpTrace(env, rec, sc, seed)
 	}
 	dr := &DoctorRun{}
-	if doctor {
+	if opts.doctor {
 		env.Fabric.FlushTrace() // emit any still-running flows before the final snapshot
 		dr.Report = eng.Finish()
 		dr.Recording = rec.Snapshot()
+	}
+	if opts.heal {
+		dr.Remediation = heal.Finish()
+		var buf bytes.Buffer
+		if err := telemetry.WritePrometheus(&buf, telemetry.Of(env.S)); err == nil {
+			dr.Telemetry = buf.Bytes()
+		}
 	}
 	return res, dr
 }

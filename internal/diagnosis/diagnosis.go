@@ -138,11 +138,33 @@ type Incident struct {
 	Evidence int
 	Detail   string
 
+	// RemediatedAt is when the self-healing engine's first matching
+	// recovery action fired, and RecoveredAt when the blamed entity
+	// returned to service (a quarantined link re-admitted). Both are
+	// matched from trace.KindRemediation spans at Finish; zero means the
+	// event never happened (runs without remediation attached leave them
+	// unset, keeping reports byte-identical to pre-remediation output).
+	RemediatedAt sim.Time
+	RecoveredAt  sim.Time
+
 	open bool
 }
 
 // Dur returns the incident's duration.
 func (in *Incident) Dur() sim.Duration { return in.End.Sub(in.Start) }
+
+// TimeToRecover returns Detected→RecoveredAt (falling back to
+// RemediatedAt when re-admission never happened, e.g. non-link causes),
+// and false when no remediation matched this incident.
+func (in *Incident) TimeToRecover() (sim.Duration, bool) {
+	switch {
+	case in.RecoveredAt != 0:
+		return in.RecoveredAt.Sub(in.Detected), true
+	case in.RemediatedAt != 0:
+		return in.RemediatedAt.Sub(in.Detected), true
+	}
+	return 0, false
+}
 
 // Config tunes the detectors. The zero value is not useful; start from
 // DefaultConfig.

@@ -187,6 +187,12 @@ type Engine struct {
 	incidents []Incident
 	openCount int
 
+	// hook, when set, fires synchronously inside newIncident for every
+	// incident the engine opens; remeds accumulates remediation spans
+	// (in tap order) for time-to-recover matching at Finish.
+	hook   func(*Incident)
+	remeds []remedEvent
+
 	mSpans    *telemetry.Counter
 	mSweeps   *telemetry.Counter
 	mOpen     *telemetry.Gauge
@@ -330,6 +336,8 @@ func (e *Engine) onSpan(sp *trace.Span) {
 		e.onBarrier(sp)
 	case trace.KindSched:
 		e.onSched(sp)
+	case trace.KindRemediation:
+		e.onRemediation(sp)
 	}
 }
 
@@ -835,13 +843,20 @@ func (e *Engine) onSched(sp *trace.Span) {
 	if d < e.cfg.QueueFloor {
 		return
 	}
+	// A zero-floor config admits zero-duration queue spans; guard the
+	// ratio so 0/0 cannot put a NaN confidence into the report (the
+	// telemetry registry rejects non-finite samples silently).
+	conf := 0.0
+	if d > 0 {
+		conf = 1 - float64(e.cfg.QueueFloor)/float64(d)
+	}
 	in := Incident{
 		Detector: DetQueue, Class: ClassAdmissionQueueing,
 		Start: sp.Start, End: sp.End, Detected: e.now,
 		Comm: 0, Seq: sp.Seq, Op: -1, Rank: -1, GPU: -1, Link: -1,
 		Tenant:     sp.Label,
 		Blamed:     "admission queue",
-		Confidence: 1 - float64(e.cfg.QueueFloor)/float64(d),
+		Confidence: conf,
 		Evidence:   1,
 		Detail:     fmt.Sprintf("job %d queued %v before placement", sp.Seq, d),
 	}
@@ -1016,6 +1031,9 @@ func (e *Engine) newIncident(in Incident) int {
 	if in.Detector != DetStall {
 		e.countClass(&e.incidents[in.ID])
 	}
+	if e.hook != nil {
+		e.hook(&e.incidents[in.ID])
+	}
 	return in.ID
 }
 
@@ -1089,10 +1107,76 @@ func (e *Engine) Finish() *Report {
 		if e.rec != nil {
 			e.dropped = e.rec.Dropped()
 		}
+		e.matchRemediations()
 		e.finished = true
 	}
 	return e.report()
 }
+
+// remedEvent is one self-healing span the engine observed: a recovery
+// action or a link re-admission, kept in tap order for deterministic
+// time-to-recover matching.
+type remedEvent struct {
+	at   sim.Time
+	op   int32 // trace.Remed* code
+	link int32 // quarantined/remediated link, -1 n/a
+	comm int32 // remediated communicator, 0 n/a
+}
+
+// onRemediation records self-healing spans for time-to-recover
+// reporting. Quarantine transitions are bookkeeping, not recovery, so
+// only actions and re-admissions are kept.
+func (e *Engine) onRemediation(sp *trace.Span) {
+	switch sp.Op {
+	case trace.RemedQuarantine:
+		return
+	}
+	e.remeds = append(e.remeds, remedEvent{at: sp.End, op: sp.Op, link: sp.Src, comm: sp.Comm})
+}
+
+// matchRemediations stamps RemediatedAt/RecoveredAt on incidents from
+// the remediation spans: an incident is remediated by the first action
+// at or after its detection that targets the same link (or, lacking a
+// link, the same communicator), and a link incident recovers when that
+// link is re-admitted. Both scans are in span-tap order, so the match
+// is deterministic. Runs without remediation leave remeds empty and
+// every incident untouched.
+func (e *Engine) matchRemediations() {
+	if len(e.remeds) == 0 {
+		return
+	}
+	for i := range e.incidents {
+		in := &e.incidents[i]
+		for _, ev := range e.remeds {
+			if ev.at < in.Detected {
+				continue
+			}
+			switch {
+			case ev.op == trace.RemedReadmit:
+				if in.Link >= 0 && ev.link == in.Link && in.RecoveredAt == 0 && in.RemediatedAt != 0 {
+					in.RecoveredAt = ev.at
+				}
+			case in.RemediatedAt == 0:
+				if (in.Link >= 0 && ev.link == in.Link) ||
+					(in.Link < 0 && in.Comm != 0 && ev.comm == in.Comm) ||
+					(in.Link < 0 && in.Comm == 0 && ev.link < 0) {
+					in.RemediatedAt = ev.at
+				}
+			}
+			if in.RemediatedAt != 0 && (in.Link < 0 || in.RecoveredAt != 0) {
+				break
+			}
+		}
+	}
+}
+
+// SetIncidentHook registers fn to be called synchronously inside
+// newIncident for every incident the engine opens (stall incidents may
+// later refine their class; the hook sees the class at open time). The
+// pointer aliases engine memory and must not be retained. The hook runs
+// inside the recorder tap / end-of-instant sweep, so it MUST NOT
+// schedule simulator events or block — queue and act on your own clock.
+func (e *Engine) SetIncidentHook(fn func(*Incident)) { e.hook = fn }
 
 func (e *Engine) report() *Report {
 	pending := 0

@@ -1,0 +1,165 @@
+package diagnosis
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"mccs/internal/sim"
+	"mccs/internal/trace"
+)
+
+func finite01(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0) && f >= 0 && f <= 1
+}
+
+// TestBaselineDegenerateWindows pins the empty- and degenerate-window
+// behaviour of the rolling baseline: a window with no samples (or only
+// zero-duration samples) must yield finite zero statistics, never a
+// division artifact, and the deadline derived from it must report
+// "no baseline" instead of a zero deadline that flags every op.
+func TestBaselineDegenerateWindows(t *testing.T) {
+	var b baseline
+	if b.mean() != 0 || b.max() != 0 {
+		t.Fatalf("empty baseline: mean %v max %v, want 0/0", b.mean(), b.max())
+	}
+	for i := 0; i < 2*baseWindow; i++ {
+		b.add(0)
+		if b.mean() != 0 || b.max() != 0 {
+			t.Fatalf("all-zero baseline after %d adds: mean %v max %v", i+1, b.mean(), b.max())
+		}
+	}
+	e := newEngine(DefaultConfig())
+	st := e.alloc()
+	st.key = opKey{comm: 1, seq: 1}
+	if d, ok := e.deadline(st); ok || d != 0 {
+		t.Fatalf("deadline with no baseline = (%v, %v), want (0, false)", d, ok)
+	}
+}
+
+// TestBusyOutlierDegenerate: too few ranks, or an all-zero busy vector
+// (median 0), must return "no outlier" rather than dividing by the zero
+// median.
+func TestBusyOutlierDegenerate(t *testing.T) {
+	var st opState
+	st.started = 0b11 // two ranks: below the 3-sample minimum
+	st.busy[0], st.busy[1] = 5, 500
+	if r, ratio, _ := busyOutlier(&st, 2, 0); r != -1 || !finite01(math.Min(ratio, 1)) {
+		t.Fatalf("two-rank outlier = (%d, %v), want none", r, ratio)
+	}
+	st.started = 0b1111 // four ranks, all idle: median 0
+	st.busy = [maxRanks]sim.Duration{}
+	if r, ratio, _ := busyOutlier(&st, 2, 0); r != -1 || math.IsNaN(ratio) || math.IsInf(ratio, 0) {
+		t.Fatalf("zero-median outlier = (%d, %v), want none", r, ratio)
+	}
+}
+
+// TestQueueConfidenceFinite sweeps QueueFloor (including the
+// pathological zero floor) against queue-span durations (including
+// zero-duration spans): every admitted incident's confidence must be a
+// finite value in [0, 1]. The zero-floor, zero-duration cell is the one
+// that used to produce 0/0 = NaN.
+func TestQueueConfidenceFinite(t *testing.T) {
+	floors := []sim.Duration{0, 1, 100 * time.Nanosecond, 500 * time.Microsecond}
+	for _, floor := range floors {
+		durs := []sim.Duration{0, 1, floor - 1, floor, floor + 1, time.Millisecond}
+		for _, d := range durs {
+			if d < 0 {
+				continue
+			}
+			cfg := DefaultConfig()
+			cfg.QueueFloor = floor
+			e := newEngine(cfg)
+			start := sim.Time(time.Millisecond)
+			e.now = start.Add(d)
+			e.onSpan(&trace.Span{
+				Kind: trace.KindSched, Op: trace.SchedQueue, Seq: 7,
+				Start: start, End: start.Add(d), Label: "tenant-a",
+				Comm: 0, Rank: -1, Host: -1, GPU: -1, Src: -1, Dst: -1, Peer: -1,
+			})
+			rep := e.Finish()
+			for i := range rep.Incidents {
+				in := &rep.Incidents[i]
+				if !finite01(in.Confidence) {
+					t.Fatalf("floor %v dur %v: incident %d confidence %v not finite in [0,1]",
+						floor, d, in.ID, in.Confidence)
+				}
+			}
+			// NaN/Inf cannot survive to the JSONL report either:
+			// encoding/json refuses non-finite floats outright.
+			var buf bytes.Buffer
+			if err := rep.WriteJSONL(&buf); err != nil {
+				t.Fatalf("floor %v dur %v: JSONL export failed: %v", floor, d, err)
+			}
+		}
+	}
+}
+
+// TestAnalyzeFuzzedSpansFinite replays seeded-random span streams —
+// zero-duration ops, empty rate histories, flows with no nominal
+// capacity on file, degenerate busy vectors — through the full Analyze
+// path and requires every incident field to stay finite and the JSONL
+// export to encode. Deterministic per seed; a failure names the seed.
+func TestAnalyzeFuzzedSpansFinite(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var spans []trace.Span
+		now := sim.Time(0)
+		for i := 0; i < 200; i++ {
+			now = now.Add(sim.Duration(rng.Intn(3)) * 50 * time.Microsecond)
+			dur := sim.Duration(rng.Intn(3)) * sim.Duration(rng.Intn(200)) * time.Microsecond
+			sp := trace.Span{
+				Start: now, End: now.Add(dur),
+				Comm: int32(rng.Intn(3)), Seq: uint64(rng.Intn(6)),
+				Rank: int32(rng.Intn(4)), Host: -1, GPU: int32(rng.Intn(8)),
+				Src: -1, Dst: -1, Peer: -1,
+			}
+			switch rng.Intn(5) {
+			case 0:
+				sp.Kind = trace.KindOp
+				sp.Op = 0 // allreduce
+				sp.Bytes = int64(rng.Intn(1 << 12))
+				sp.Busy = sim.Duration(rng.Intn(2)) * sim.Duration(rng.Intn(100)) * time.Microsecond
+			case 1:
+				sp.Kind = trace.KindStep
+				sp.Op = 0
+			case 2:
+				sp.Kind = trace.KindFlow
+				n := rng.Intn(3)
+				for k := 0; k < n; k++ {
+					sp.Rates = append(sp.Rates, trace.RateSample{
+						T:          sp.Start.Add(sim.Duration(k) * time.Microsecond),
+						Bottleneck: int32(rng.Intn(4) - 1),
+						LinkBps:    float64(rng.Intn(2)) * 1e9,
+						ExtBps:     float64(rng.Intn(2)) * 5e8,
+						CapBps:     float64(rng.Intn(2)) * 1e9,
+					})
+				}
+			case 3:
+				sp.Kind = trace.KindSched
+				sp.Op = trace.SchedQueue
+				sp.Label = "fuzz"
+			case 4:
+				sp.Kind = trace.KindBarrier
+				sp.Op = trace.PhaseDrain
+			}
+			spans = append(spans, sp)
+		}
+		cfg := DefaultConfig()
+		cfg.QueueFloor = 0 // pathological: admit zero-duration queue spans
+		rep := Analyze(trace.Recording{Spans: spans}, nil, cfg)
+		for i := range rep.Incidents {
+			in := &rep.Incidents[i]
+			if !finite01(in.Confidence) {
+				t.Fatalf("seed %d: incident %d (%v) confidence %v not finite in [0,1]",
+					seed, in.ID, in.Class, in.Confidence)
+			}
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSONL(&buf); err != nil {
+			t.Fatalf("seed %d: JSONL export failed: %v", seed, err)
+		}
+	}
+}

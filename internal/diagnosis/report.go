@@ -7,6 +7,7 @@ import (
 	"io"
 	"sort"
 
+	"mccs/internal/sim"
 	"mccs/internal/trace"
 )
 
@@ -58,6 +59,12 @@ type jsonlIncident struct {
 	Confidence float64 `json:"confidence"`
 	Evidence   int     `json:"evidence"`
 	Detail     string  `json:"detail,omitempty"`
+	// Self-healing fields, present only when a remediation matched the
+	// incident — runs without remediation emit byte-identical lines to
+	// pre-remediation builds.
+	RemediatedNS int64 `json:"remediated_ns,omitempty"`
+	RecoveredNS  int64 `json:"recovered_ns,omitempty"`
+	TTRNS        int64 `json:"ttr_ns,omitempty"`
 }
 
 // WriteJSONL writes the incident timeline as JSON Lines: one header
@@ -84,6 +91,11 @@ func (r *Report) WriteJSONL(w io.Writer) error {
 		}
 		if in.Op >= 0 {
 			ji.Op = trace.OpName(in.Op)
+		}
+		if ttr, ok := in.TimeToRecover(); ok {
+			ji.RemediatedNS = int64(in.RemediatedAt)
+			ji.RecoveredNS = int64(in.RecoveredAt)
+			ji.TTRNS = int64(ttr)
 		}
 		if err := enc.Encode(ji); err != nil {
 			return err
@@ -133,6 +145,31 @@ func (r *Report) WriteText(w io.Writer) error {
 		if in.Detail != "" {
 			fmt.Fprintf(bw, "       %s\n", in.Detail)
 		}
+		if ttr, ok := in.TimeToRecover(); ok {
+			fmt.Fprintf(bw, "       remediated at %v", in.RemediatedAt.Sub(0))
+			if in.RecoveredAt != 0 {
+				fmt.Fprintf(bw, ", recovered at %v", in.RecoveredAt.Sub(0))
+			}
+			fmt.Fprintf(bw, " (time-to-recover %v)\n", ttr)
+		}
+	}
+	if ttrs := r.timesToRecover(); len(ttrs) > 0 {
+		fmt.Fprintf(bw, "\nSELF-HEALING\n")
+		fmt.Fprintf(bw, "  %d of %d incidents remediated | median time-to-recover %v\n",
+			len(ttrs), len(r.Incidents), ttrs[len(ttrs)/2])
 	}
 	return bw.Flush()
+}
+
+// timesToRecover returns the sorted time-to-recover of every remediated
+// incident; empty when remediation never ran.
+func (r *Report) timesToRecover() []sim.Duration {
+	var out []sim.Duration
+	for i := range r.Incidents {
+		if ttr, ok := r.Incidents[i].TimeToRecover(); ok {
+			out = append(out, ttr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

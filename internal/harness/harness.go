@@ -19,6 +19,7 @@ import (
 	"mccs/internal/ncclsim"
 	"mccs/internal/netsim"
 	"mccs/internal/policy"
+	"mccs/internal/remediation"
 	"mccs/internal/sim"
 	"mccs/internal/spec"
 	"mccs/internal/telemetry"
@@ -182,6 +183,46 @@ func WriteDoctorFile(path string, eng *diagnosis.Engine, fabric *netsim.Fabric) 
 	}
 	if fabric != nil {
 		fabric.FlushTrace()
+	}
+	rep := eng.Finish()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = rep.WriteJSONL(f)
+	} else {
+		err = rep.WriteText(f)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// AttachRemediation attaches the self-healing control loop to an
+// environment that already has a diagnosis engine: the remediation
+// engine subscribes to the doctor's verdicts, scans link health on its
+// own tick, and drives recovery through the policy controller. The
+// caller owns the daemon's lifetime via Start/stop and collects the
+// event log with WriteRemediationFile.
+func AttachRemediation(env *Env, eng *diagnosis.Engine, cfg remediation.Config) (*remediation.Engine, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("harness: remediation needs a diagnosis engine attached")
+	}
+	if trace.Of(env.S) == nil {
+		return nil, fmt.Errorf("harness: remediation needs a trace recorder attached")
+	}
+	return remediation.Attach(env.S, env.Deployment, eng, cfg), nil
+}
+
+// WriteRemediationFile finalizes a live remediation engine and writes
+// its event log at path: JSONL when the path ends in ".jsonl", the
+// operator-facing text report otherwise.
+func WriteRemediationFile(path string, eng *remediation.Engine) error {
+	if eng == nil {
+		return fmt.Errorf("harness: no remediation engine attached")
 	}
 	rep := eng.Finish()
 	f, err := os.Create(path)

@@ -179,3 +179,120 @@ func TestWatcherReroutesOnClos(t *testing.T) {
 		t.Errorf("remediations = %d, want 1", watcher.Remediations)
 	}
 }
+
+// floodRingHop saturates both directions of the inter-switch hop between
+// ring switches a and b with strict-priority external flows lasting dur.
+// Congesting both directions keeps the job's ring exposed whichever way
+// it currently runs, so a later episode on the same hop must re-trigger
+// the watcher even after an earlier reversal moved the ring off one
+// direction.
+func floodRingHop(t *testing.T, s *sim.Scheduler, cluster *topo.Cluster, fabric *netsim.Fabric,
+	a, b topo.RackID, at, dur time.Duration) {
+	t.Helper()
+	const rate = 75 * topo.Gbps
+	s.At(sim.Time(at), func() {
+		for _, pair := range [][2]topo.RackID{{a, b}, {b, a}} {
+			link, err := cluster.RingLinkBetween(pair[0], pair[1])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			l := cluster.Net.Link(link)
+			fabric.StartFlow(netsim.FlowOpts{
+				Src: l.From, Dst: l.To,
+				Bytes: rate * dur.Seconds(),
+				Route: []netsim.LinkID{link}, FixedRate: rate,
+				External: true,
+			})
+		}
+	})
+}
+
+// TestWatcherReArmsAfterEpisode is the regression test for the
+// remediated-latch bug: the watcher used to mark a link remediated and
+// never clear it, so a second, entirely separate congestion episode on
+// the same hop was ignored forever. With hysteresis re-arm (Consecutive
+// clean scans), two well-separated episodes must yield exactly two
+// remediations.
+func TestWatcherReArmsAfterEpisode(t *testing.T) {
+	cluster, err := topo.BuildSwitchRing(topo.RingConfig{
+		Switches: 4, GPUsPerHost: 2, NICsPerHost: 2,
+		NICBps: 50 * topo.Gbps, SwitchBps: 100 * topo.Gbps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	fabric := netsim.NewFabric(s, cluster.Net)
+	dep := mccsd.NewDeployment(s, cluster, fabric, ncclsim.Config(ncclsim.MCCS))
+	var gpus []topo.GPUID
+	for _, h := range cluster.Hosts {
+		gpus = append(gpus, h.GPUs...)
+	}
+	startLoopingJob(t, s, dep, cluster, gpus, 128<<20)
+
+	watcher := policy.NewController(dep).NewCongestionWatcher()
+	watcher.Start(nil)
+
+	// Episode 1: [2s, 4s). The watcher needs Consecutive x Interval =
+	// 750ms to call it persistent, then reverses the ring. The hop stays
+	// clean for 4s afterwards — far more than the Consecutive clean
+	// scans the re-arm hysteresis requires.
+	floodRingHop(t, s, cluster, fabric, 1, 2, 2*time.Second, 2*time.Second)
+	// Episode 2: [8s, 10s) on the same hop.
+	floodRingHop(t, s, cluster, fabric, 1, 2, 8*time.Second, 2*time.Second)
+
+	if err := s.RunUntil(sim.Time(12 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if watcher.Remediations != 2 {
+		t.Errorf("remediations = %d, want 2 (one per episode; the old latched watcher never re-armed and stops at 1)",
+			watcher.Remediations)
+	}
+	view := dep.View()
+	comm, _ := dep.Comm(view[0].ID)
+	if g := comm.Runners[0].Generation(); g != 2 {
+		t.Errorf("generation = %d, want 2 (one reversal per episode)", g)
+	}
+}
+
+// TestWatcherFlappingHysteresis guards the other side of the re-arm fix:
+// a flow flapping around ExternalFraction with sub-Consecutive clean
+// gaps is ONE episode. A naive single-clean-scan re-arm would reverse
+// the ring on every burst; the hysteresis must keep it to exactly one
+// remediation.
+func TestWatcherFlappingHysteresis(t *testing.T) {
+	cluster, err := topo.BuildSwitchRing(topo.RingConfig{
+		Switches: 4, GPUsPerHost: 2, NICsPerHost: 2,
+		NICBps: 50 * topo.Gbps, SwitchBps: 100 * topo.Gbps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sim.New()
+	fabric := netsim.NewFabric(s, cluster.Net)
+	dep := mccsd.NewDeployment(s, cluster, fabric, ncclsim.Config(ncclsim.MCCS))
+	var gpus []topo.GPUID
+	for _, h := range cluster.Hosts {
+		gpus = append(gpus, h.GPUs...)
+	}
+	startLoopingJob(t, s, dep, cluster, gpus, 128<<20)
+
+	watcher := policy.NewController(dep).NewCongestionWatcher()
+	watcher.Start(nil)
+
+	// One flapping episode: 1s hot bursts (>= Consecutive hot scans at
+	// 250ms intervals) separated by 300ms gaps (1-2 clean scans, below
+	// the Consecutive=3 the re-arm hysteresis requires).
+	floodRingHop(t, s, cluster, fabric, 1, 2, 2*time.Second, time.Second)
+	floodRingHop(t, s, cluster, fabric, 1, 2, 3300*time.Millisecond, time.Second)
+	floodRingHop(t, s, cluster, fabric, 1, 2, 4600*time.Millisecond, time.Second)
+
+	if err := s.RunUntil(sim.Time(9 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if watcher.Remediations != 1 {
+		t.Errorf("remediations = %d, want exactly 1 (flapping inside one episode must not re-trigger)",
+			watcher.Remediations)
+	}
+}

@@ -423,6 +423,34 @@ func (fb *Fabric) SetLinkCapacity(l LinkID, capacity float64) {
 	fb.dirty = true
 }
 
+// LinkState is an exact snapshot of one link's mutable state, taken by
+// SnapshotLink and restored by RestoreLink. Fault injectors snapshot a
+// link immediately before degrading it and restore the snapshot on
+// expiry: restoring the exact pre-fault state — instead of recomputing
+// a nominal value — makes back-to-back and nested injections on the
+// same link compose (the inner fault's restore re-installs the outer
+// fault's degraded capacity, and the outer restore re-installs the true
+// pre-fault state).
+type LinkState struct {
+	Link     LinkID
+	Capacity float64
+}
+
+// SnapshotLink captures link l's current mutable state.
+func (fb *Fabric) SnapshotLink(l LinkID) LinkState {
+	return LinkState{Link: l, Capacity: fb.net.links[l].Capacity}
+}
+
+// RestoreLink re-installs a snapshot taken by SnapshotLink. A restore
+// that would not change the link is a no-op (no reallocation), so
+// restoring an identical state is schedule-neutral.
+func (fb *Fabric) RestoreLink(st LinkState) {
+	if fb.net.links[st.Link].Capacity == st.Capacity {
+		return
+	}
+	fb.SetLinkCapacity(st.Link, st.Capacity)
+}
+
 // LinkRate returns the aggregate allocated rate on link l in bytes/sec.
 func (fb *Fabric) LinkRate(l LinkID) float64 {
 	fb.flush()

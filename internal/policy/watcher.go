@@ -33,6 +33,13 @@ type CongestionWatcher struct {
 	// remediated remembers the links already acted on so a persistent
 	// background flow does not retrigger endlessly.
 	remediated map[netsim.LinkID]bool
+	// cool counts consecutive below-threshold scans for links in
+	// remediated. An entry re-arms only after Consecutive clean scans —
+	// the same hysteresis the hot counter applies on the way up — so a
+	// flow flapping around ExternalFraction cannot re-arm the watcher on
+	// a single clean sample and trigger a second remediation (reversing
+	// the ring back and forth) within one congestion episode.
+	cool map[netsim.LinkID]int
 	// Remediations counts actions taken, for tests and dashboards.
 	Remediations int
 	// OnRemediate, when set, is called once per remediation action, at
@@ -51,6 +58,7 @@ func (c *Controller) NewCongestionWatcher() *CongestionWatcher {
 		Consecutive:      3,
 		hot:              make(map[netsim.LinkID]int),
 		remediated:       make(map[netsim.LinkID]bool),
+		cool:             make(map[netsim.LinkID]int),
 	}
 }
 
@@ -78,12 +86,22 @@ func (w *CongestionWatcher) scan() {
 		}
 		if d.Fabric.ExternalRate(l)/cap >= w.ExternalFraction {
 			w.hot[l]++
+			delete(w.cool, l)
 			if w.hot[l] >= w.Consecutive && !w.remediated[l] {
 				congested = append(congested, l)
 			}
 		} else {
 			w.hot[l] = 0
-			delete(w.remediated, l)
+			// Re-arm only after the link stays clean for Consecutive
+			// scans, so one below-threshold sample inside a flapping
+			// episode does not reset the per-episode latch.
+			if w.remediated[l] {
+				w.cool[l]++
+				if w.cool[l] >= w.Consecutive {
+					delete(w.remediated, l)
+					delete(w.cool, l)
+				}
+			}
 		}
 	}
 	if len(congested) == 0 {
@@ -103,22 +121,10 @@ func (w *CongestionWatcher) scan() {
 }
 
 // remediate fixes one communicator's exposure to the congested links.
+// The recovery moves themselves live on the Controller (heal.go) so the
+// remediation engine can drive the same re-pin-or-reverse ladder.
 func (w *CongestionWatcher) remediate(ci spec.CommInfo, bad map[netsim.LinkID]bool) {
-	d := w.ctrl.dep
-	comm, ok := d.Comm(ci.ID)
-	if !ok {
-		return
-	}
-	routes := comm.ConnRoutes()
-	var affected []spec.ConnKey
-	for key, path := range routes {
-		for _, l := range path {
-			if bad[l] {
-				affected = append(affected, key)
-				break
-			}
-		}
-	}
+	affected := w.ctrl.AffectedConns(ci, bad)
 	if len(affected) == 0 {
 		return
 	}
@@ -126,40 +132,7 @@ func (w *CongestionWatcher) remediate(ci spec.CommInfo, bad map[netsim.LinkID]bo
 	if w.OnRemediate != nil {
 		w.OnRemediate()
 	}
-	// Path diversity available? Re-pin the affected connections onto the
-	// first equal-cost path that avoids every congested link.
-	canReroute := true
-	newRoutes := make(map[spec.ConnKey]int, len(affected))
-	for _, key := range affected {
-		src := d.Cluster.NICNode(ci.Ranks[key.FromRank].NIC)
-		dst := d.Cluster.NICNode(ci.Ranks[key.ToRank].NIC)
-		idx, ok := cleanPath(d.Cluster.Net, src, dst, bad)
-		if !ok {
-			canReroute = false
-			break
-		}
-		newRoutes[key] = idx
-	}
-	if canReroute {
-		if err := d.UpdateRoutes(ci.ID, newRoutes); err == nil {
-			return
-		}
-	}
-	// No clean alternate path: reverse the rings (the Fig. 7 move) and
-	// let the reconfiguration barrier switch every rank safely.
-	cur := comm.Strategy()
-	rev := spec.Strategy{TreeThreshold: cur.TreeThreshold}
-	for _, ch := range cur.Channels {
-		order := append([]int(nil), ch.Order...)
-		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
-			order[i], order[j] = order[j], order[i]
-		}
-		rev.Channels = append(rev.Channels, spec.ChannelSpec{Order: order, Route: ch.Route})
-	}
-	if _, err := d.ReconfigureAsync(ci.ID, rev, nil); err != nil {
-		// Baseline deployments cannot reconfigure; nothing to do.
-		_ = err
-	}
+	w.ctrl.RepinOrReverse(ci, affected, bad)
 }
 
 // cleanPath returns the index of the first equal-cost path between the

@@ -168,6 +168,8 @@ func threadKey(sp *Span, m *Meta) string {
 			return "sched policy"
 		}
 		return fmt.Sprintf("sched job%d", sp.Seq)
+	case KindRemediation:
+		return "remediation"
 	default:
 		return "misc"
 	}
@@ -217,6 +219,8 @@ func eventName(sp *Span) string {
 			return "sched:" + SchedName(sp.Op) + ":" + sp.Label
 		}
 		return "sched:" + SchedName(sp.Op)
+	case KindRemediation:
+		return "heal:" + RemedName(sp.Op)
 	default:
 		return sp.Kind.String()
 	}

@@ -79,9 +79,16 @@ const (
 	// Span.Op holds the Sched* code, Seq the job ID (0 for recomputes)
 	// and Label the tenant (or the churn cause for recomputes).
 	KindSched
+	// KindRemediation is one self-healing control-loop event: a link
+	// quarantine or re-admission, or a recovery action (route re-pin,
+	// ring reversal, re-tune, graceful degradation, FFA re-run) driven
+	// by the remediation engine. Span.Op holds the Remed* code, Src the
+	// quarantined link ID (-1 n/a), Comm the remediated communicator (0
+	// n/a) and Label the printable event name.
+	KindRemediation
 )
 
-var kindNames = [...]string{"op", "step", "barrier", "p2p", "cmd", "flow", "xfer", "kernel", "tuner", "sched"}
+var kindNames = [...]string{"op", "step", "barrier", "p2p", "cmd", "flow", "xfer", "kernel", "tuner", "sched", "remediation"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
@@ -125,6 +132,29 @@ var schedNames = [...]string{"queue", "run", "reject", "reconfig"}
 func SchedName(code int32) string {
 	if code >= 0 && int(code) < len(schedNames) {
 		return schedNames[code]
+	}
+	return "?"
+}
+
+// Self-healing control-loop event codes (Span.Op for KindRemediation):
+// link state-machine transitions first, then the escalation ladder's
+// recovery actions in escalation order.
+const (
+	RemedQuarantine int32 = iota // link quarantined after persistent degradation
+	RemedReadmit                 // link re-admitted after probation
+	RemedRepin                   // routes re-pinned off quarantined links
+	RemedReverse                 // ring reversed (no clean alternate path)
+	RemedRetune                  // autotuner re-run against the degraded fabric
+	RemedDegrade                 // graceful degradation to a reduced-channel strategy
+	RemedFFA                     // fair flow assignment re-applied
+)
+
+var remedNames = [...]string{"quarantine", "readmit", "repin", "reverse", "retune", "degrade", "ffa"}
+
+// RemedName returns the printable name of a remediation event code.
+func RemedName(code int32) string {
+	if code >= 0 && int(code) < len(remedNames) {
+		return remedNames[code]
 	}
 	return "?"
 }
